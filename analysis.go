@@ -1,0 +1,38 @@
+package meshplace
+
+import (
+	"io"
+
+	"meshplace/internal/rng"
+	"meshplace/internal/viz"
+	"meshplace/internal/wmn"
+)
+
+// Deployment analysis types. The paper motivates WMNs by their robustness
+// through redundant communication paths (§1); FailureSweep quantifies that
+// for a concrete placement, and the report/map expose the topology an
+// operator would deploy.
+type (
+	// Report is a per-router deployment report with links and uncovered
+	// clients; build one with Evaluator.BuildReport and render it with
+	// Report.Render.
+	Report = wmn.Report
+	// RouterReport is one row of a Report.
+	RouterReport = wmn.RouterReport
+	// FailureResult summarizes a router-failure robustness sweep.
+	FailureResult = wmn.FailureResult
+	// MapOptions controls ASCII map rendering.
+	MapOptions = viz.Options
+)
+
+// FailureSweep removes `failures` random routers per trial and re-measures
+// the surviving network, over `trials` random failure sets.
+func FailureSweep(eval *Evaluator, sol Solution, failures, trials int, seed uint64) (FailureResult, error) {
+	return wmn.FailureSweep(eval, sol, failures, trials, rng.New(seed))
+}
+
+// RenderMap writes an ASCII map of the solution: clients as '.', routers as
+// 'o' ('O' inside the giant component), stacked routers as digits.
+func RenderMap(w io.Writer, eval *Evaluator, sol Solution, opts MapOptions) error {
+	return viz.MapEvaluated(w, eval, sol, opts)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meshplace"
+	"meshplace/internal/rng"
+	"meshplace/internal/viz"
+	"meshplace/internal/wmn"
+)
+
+// runAnalyze places routers with one method and analyzes the deployment:
+// per-router report, ASCII map and a router-failure robustness sweep.
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	var inst instanceFlags
+	inst.register(fs)
+	method := fs.String("method", "HotSpot", "ad hoc method producing the placement")
+	solFile := fs.String("solution", "", "analyze this saved solution JSON instead of placing")
+	searchPhases := fs.Int("search", 30, "swap-search phases applied before analysis (0 to skip)")
+	showMap := fs.Bool("map", true, "render the ASCII deployment map")
+	mapWidth := fs.Int("mapwidth", 64, "map width in characters")
+	showReport := fs.Bool("report", false, "print the per-router deployment report")
+	failures := fs.Int("failures", 0, "routers removed per robustness trial (0 = N/8)")
+	trials := fs.Int("trials", 32, "robustness trials")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := inst.instance()
+	if err != nil {
+		return err
+	}
+	eval, err := meshplace.NewEvaluator(in, meshplace.EvalOptions{})
+	if err != nil {
+		return err
+	}
+	var sol meshplace.Solution
+	source := ""
+	if *solFile != "" {
+		f, err := os.Open(*solFile)
+		if err != nil {
+			return err
+		}
+		sol, err = wmn.ReadSolution(f, in)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		source = *solFile
+		*searchPhases = 0
+	} else {
+		m, err := meshplace.PlacementMethodFromName(*method)
+		if err != nil {
+			return err
+		}
+		sol, err = meshplace.Place(m, in, inst.seed)
+		if err != nil {
+			return err
+		}
+		source = m.String()
+	}
+	if *searchPhases > 0 {
+		res, err := meshplace.NeighborhoodSearch(eval, sol, meshplace.SearchConfig{
+			Movement:          meshplace.NewSwapMovement(),
+			MaxPhases:         *searchPhases,
+			NeighborsPerPhase: 16,
+		}, inst.seed+1)
+		if err != nil {
+			return err
+		}
+		sol = res.Best
+	}
+
+	metrics, err := eval.Evaluate(sol)
+	if err != nil {
+		return err
+	}
+	fmt.Println(in)
+	fmt.Printf("placement (%s + %d search phases): %s\n", source, *searchPhases, metrics)
+
+	if *showMap {
+		if err := viz.MapEvaluated(os.Stdout, eval, sol, viz.Options{Width: *mapWidth, Legend: true}); err != nil {
+			return err
+		}
+	}
+	if *showReport {
+		rep, err := eval.BuildReport(sol)
+		if err != nil {
+			return err
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	k := *failures
+	if k == 0 {
+		k = in.NumRouters() / 8
+	}
+	sweep, err := wmn.FailureSweep(eval, sol, k, *trials, rng.New(inst.seed+2))
+	if err != nil {
+		return err
+	}
+	fmt.Println("robustness:", sweep)
+	return nil
+}

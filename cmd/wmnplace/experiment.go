@@ -1,0 +1,140 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"meshplace"
+	"meshplace/internal/experiments"
+	"meshplace/internal/wmn"
+)
+
+// runExperiment regenerates the paper's tables and figures.
+func runExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run at reduced scale (60 GA generations, 20 phases)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	reps := fs.Int("reps", 0, "repetitions per measurement (0 = config default; tables report the median)")
+	csvDir := fs.String("csv", "", "also write CSV files into this directory")
+	checks := fs.Bool("check", true, "verify the paper's shape claims and report violations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		return fmt.Errorf("missing experiment id; want table1|table2|table3|fig1|fig2|fig3|fig4|all")
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	want := map[string]bool{}
+	for _, t := range targets {
+		switch t {
+		case "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4":
+			want[t] = true
+		case "all":
+			for _, id := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4"} {
+				want[id] = true
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q; want table1|table2|table3|fig1|fig2|fig3|fig4|all", t)
+		}
+	}
+
+	violations := 0
+	for i, id := range experiments.StudyIDs() {
+		tableID := fmt.Sprintf("table%d", i+1)
+		figID := fmt.Sprintf("fig%d", i+1)
+		if !want[tableID] && !want[figID] {
+			continue
+		}
+		study, err := experiments.RunStudy(id, cfg)
+		if err != nil {
+			return err
+		}
+		if want[tableID] {
+			if err := study.RenderTable(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			if err := writeCSV(*csvDir, tableID+".csv", study.WriteTableCSV); err != nil {
+				return err
+			}
+		}
+		if want[figID] {
+			if err := study.RenderFigure(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			if err := writeCSV(*csvDir, figID+".csv", study.WriteFigureCSV); err != nil {
+				return err
+			}
+		}
+		if *checks {
+			violations += report(study.CheckTableShape())
+			violations += report(study.CheckFigureShape())
+		}
+	}
+
+	if want["fig4"] {
+		cmp, err := experiments.RunSearchComparison(cfg)
+		if err != nil {
+			return err
+		}
+		if err := cmp.RenderFigure(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := writeCSV(*csvDir, "fig4.csv", cmp.WriteFigureCSV); err != nil {
+			return err
+		}
+		if *checks {
+			violations += report(cmp.CheckShape())
+		}
+	}
+
+	if *checks {
+		if violations > 0 {
+			return fmt.Errorf("%d shape violation(s); see output above", violations)
+		}
+		fmt.Println("all shape checks passed")
+	}
+	return nil
+}
+
+func report(violations []string) int {
+	for _, v := range violations {
+		fmt.Println("SHAPE VIOLATION:", v)
+	}
+	return len(violations)
+}
+
+func writeCSV(dir, name string, write func(io.Writer) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+// readInstance decodes an instance JSON (used by the instance-loading flag).
+func readInstance(r io.Reader) (*meshplace.Instance, error) {
+	return wmn.ReadInstance(r)
+}

@@ -1,0 +1,53 @@
+// Command wmnplace is the command-line interface to the meshplace library:
+// it generates problem instances, runs the ad hoc placement methods, the
+// neighborhood searches and the genetic algorithm, and regenerates every
+// table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	wmnplace instance   [flags]   generate an instance and write it as JSON
+//	wmnplace place      [flags]   run one ad hoc placement method
+//	wmnplace search     [flags]   run the neighborhood search (swap/random)
+//	wmnplace ga         [flags]   run the GA from an ad hoc initializer
+//	wmnplace analyze    [flags]   map, per-router report and robustness sweep
+//	wmnplace experiment [flags] <table1|table2|table3|fig1|fig2|fig3|fig4|all>
+//
+// Run "wmnplace <command> -h" for the flags of each command.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wmnplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing command; want instance, place, search, ga, analyze or experiment")
+	}
+	switch args[0] {
+	case "instance":
+		return runInstance(args[1:])
+	case "place":
+		return runPlace(args[1:])
+	case "search":
+		return runSearch(args[1:])
+	case "ga":
+		return runGA(args[1:])
+	case "analyze":
+		return runAnalyze(args[1:])
+	case "experiment":
+		return runExperiment(args[1:])
+	case "-h", "--help", "help":
+		fmt.Println("commands: instance, place, search, ga, analyze, experiment")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q; want instance, place, search, ga, analyze or experiment", args[0])
+	}
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// small returns flags for a small, fast instance.
+func small() []string {
+	return []string{"-width", "64", "-height", "64", "-routers", "16", "-clients", "32"}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing command accepted")
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	err := run([]string{"optimize"})
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help failed: %v", err)
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "inst.json")
+	args := append([]string{"-out", out}, small()...)
+	if err := run(append([]string{"instance"}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("instance file not written: %v", err)
+	}
+	// Load it back through the place command.
+	if err := run([]string{"place", "-instance", out, "-method", "HotSpot"}); err != nil {
+		t.Fatalf("place on saved instance: %v", err)
+	}
+}
+
+func TestInstanceBadDistribution(t *testing.T) {
+	if err := run([]string{"instance", "-dist", "pareto:alpha=2"}); err == nil {
+		t.Error("bad distribution accepted")
+	}
+}
+
+func TestPlaceAllMethods(t *testing.T) {
+	if err := run(append([]string{"place", "-method", "all"}, small()...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceUnknownMethod(t *testing.T) {
+	if err := run([]string{"place", "-method", "Spiral"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestSearchCommands(t *testing.T) {
+	for _, movement := range []string{"swap", "random"} {
+		args := append([]string{"search", "-movement", movement, "-phases", "3", "-neighbors", "4"}, small()...)
+		if err := run(args); err != nil {
+			t.Errorf("search %s: %v", movement, err)
+		}
+	}
+	if err := run([]string{"search", "-movement", "teleport"}); err == nil {
+		t.Error("unknown movement accepted")
+	}
+}
+
+func TestGACommand(t *testing.T) {
+	args := append([]string{"ga", "-generations", "5", "-pop", "8", "-init", "Near"}, small()...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"ga", "-init", "Bogus"}); err == nil {
+		t.Error("unknown initializer accepted")
+	}
+}
+
+func TestExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick study (~2s)")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"experiment", "-quick", "-check=false", "-csv", dir, "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestAnalyzeCommand(t *testing.T) {
+	args := append([]string{"analyze", "-search", "2", "-trials", "4", "-mapwidth", "24"}, small()...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze", "-method", "Bogus"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestExperimentUnknownID(t *testing.T) {
+	if err := run([]string{"experiment", "table9"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"experiment"}); err == nil {
+		t.Error("missing experiment id accepted")
+	}
+}
+
+func TestSolutionSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	instFile := filepath.Join(dir, "inst.json")
+	solFile := filepath.Join(dir, "sol.json")
+	if err := run(append([]string{"instance", "-out", instFile}, small()...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"place", "-instance", instFile, "-method", "HotSpot", "-out", solFile}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(solFile); err != nil {
+		t.Fatalf("solution not written: %v", err)
+	}
+	// Analyze the saved solution against the saved instance.
+	if err := run([]string{"analyze", "-instance", instFile, "-solution", solFile, "-map=false", "-trials", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	// A solution saved for one instance must be rejected for another.
+	if err := run([]string{"analyze", "-solution", solFile, "-routers", "5", "-map=false", "-trials", "4"}); err == nil {
+		t.Error("mismatched solution accepted")
+	}
+}
+
+func TestSearchAndGASaveSolutions(t *testing.T) {
+	dir := t.TempDir()
+	searchSol := filepath.Join(dir, "search.json")
+	gaSol := filepath.Join(dir, "ga.json")
+	args := append([]string{"search", "-phases", "2", "-neighbors", "4", "-out", searchSol}, small()...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	args = append([]string{"ga", "-generations", "3", "-pop", "8", "-out", gaSol}, small()...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{searchSol, gaSol} {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+}

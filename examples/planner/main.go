@@ -1,0 +1,99 @@
+// Planner bake-off: run every optimizer in the library — the paper's
+// neighborhood search (§4) plus its announced future work (hill climbing,
+// simulated annealing, tabu search) and the GA of §5 — on one municipal
+// scenario and compare solution quality per fitness evaluation.
+//
+// This is the workflow a deployment engineer would actually use: generate
+// the instance once, try all optimizers under a comparable budget, pick the
+// plan with the best coverage/connectivity trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meshplace"
+)
+
+func main() {
+	cfg := meshplace.GenConfig{
+		Name:       "new-district",
+		Width:      128,
+		Height:     128,
+		NumRouters: 64,
+		RadiusMin:  2,
+		RadiusMax:  4.5,
+		NumClients: 192,
+		ClientDist: meshplace.NormalClients(80, 48, 16),
+		Seed:       11,
+	}
+	inst, err := meshplace.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval, err := meshplace.NewEvaluator(inst, meshplace.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	initial, err := meshplace.Place(meshplace.HotSpot, inst, cfg.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	initialMetrics, err := eval.Evaluate(initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instance:", inst)
+	fmt.Printf("%-22s giant=%2d covered=%3d fitness=%.4f\n",
+		"HotSpot start:", initialMetrics.GiantSize, initialMetrics.Covered, initialMetrics.Fitness)
+
+	swap := func() meshplace.Movement { return meshplace.NewSwapMovement() }
+	report := func(name string, res meshplace.SearchResult, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.BestMetrics
+		fmt.Printf("%-22s giant=%2d covered=%3d fitness=%.4f (%d evaluations)\n",
+			name+":", m.GiantSize, m.Covered, m.Fitness, res.Evaluations)
+	}
+
+	res, err := meshplace.NeighborhoodSearch(eval, initial, meshplace.SearchConfig{
+		Movement: swap(), MaxPhases: 61, NeighborsPerPhase: 16,
+	}, 100)
+	report("neighborhood search", res, err)
+
+	res, err = meshplace.HillClimb(eval, initial, meshplace.HillClimbConfig{
+		Movement: swap(), MaxSteps: 1000,
+	}, 101)
+	report("hill climbing", res, err)
+
+	mixed, err := meshplace.NewMixedMovement(
+		[]meshplace.Movement{swap(), meshplace.PerturbMovement{Sigma: 2}},
+		[]float64{0.5, 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = meshplace.Anneal(eval, initial, meshplace.AnnealConfig{
+		Movement: mixed, Steps: 1000,
+	}, 102)
+	report("simulated annealing", res, err)
+
+	res, err = meshplace.Tabu(eval, initial, meshplace.TabuConfig{
+		Movement: swap(), MaxPhases: 61, NeighborsPerPhase: 16,
+	}, 103)
+	report("tabu search", res, err)
+
+	init, err := meshplace.NewPlacerInitializer(meshplace.HotSpot, meshplace.PlacementOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gaCfg := meshplace.DefaultGAConfig()
+	gaCfg.Generations = 200
+	gaRes, err := meshplace.RunGA(eval, init, gaCfg, 104)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s giant=%2d covered=%3d fitness=%.4f (%d evaluations)\n",
+		"genetic algorithm:", gaRes.BestMetrics.GiantSize, gaRes.BestMetrics.Covered,
+		gaRes.BestMetrics.Fitness, gaRes.Evaluations)
+}

@@ -1,0 +1,54 @@
+// Quickstart: generate the paper's benchmark instance, place the mesh
+// routers with the HotSpot ad hoc method, and measure connectivity and
+// coverage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meshplace"
+)
+
+func main() {
+	// The paper's benchmark: a 128×128 area, 64 routers with radio
+	// coverage radii in [2, 4.5], and 192 clients clustered around the
+	// center (Normal distribution, §5.2.1).
+	inst, err := meshplace.Generate(meshplace.DefaultGenConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instance:", inst)
+
+	eval, err := meshplace.NewEvaluator(inst, meshplace.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Place routers in the client-densest zones (§3, HotSpot) and measure
+	// the giant component and client coverage (§2).
+	sol, err := meshplace.Place(meshplace.HotSpot, inst, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, err := eval.Evaluate(sol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HotSpot placement: %d/%d routers in the giant component, %d/%d clients covered\n",
+		metrics.GiantSize, inst.NumRouters(), metrics.Covered, inst.NumClients())
+
+	// A few phases of swap-movement neighborhood search (§4) tighten the
+	// network further.
+	res, err := meshplace.NeighborhoodSearch(eval, sol, meshplace.SearchConfig{
+		Movement:          meshplace.NewSwapMovement(),
+		MaxPhases:         20,
+		NeighborsPerPhase: 16,
+	}, 43)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after %d search phases:  %d/%d routers in the giant component, %d/%d clients covered\n",
+		res.Phases, res.BestMetrics.GiantSize, inst.NumRouters(),
+		res.BestMetrics.Covered, inst.NumClients())
+}

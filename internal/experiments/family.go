@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"meshplace/internal/dist"
+	"meshplace/internal/wmn"
+)
+
+// The paper evaluates "through a benchmark of generated instances" (§5.1).
+// BenchmarkFamily is that benchmark as a reusable artifact: the paper-scale
+// instance plus half- and double-scale variants, across all four client
+// distributions of §5.1 (Uniform is generated in the paper's setup even
+// though the reported tables cover Normal, Exponential and Weibull).
+
+// FamilyScale names one instance size of the benchmark family.
+type FamilyScale struct {
+	// Label names the scale ("half", "base", "double").
+	Label string
+	// Side is the square area's side length; routers and clients scale
+	// with the area so density is preserved.
+	Side       float64
+	NumRouters int
+	NumClients int
+}
+
+// FamilyScales returns the three scales of the benchmark family. The base
+// scale is the paper's 128×128 / 64-router / 192-client instance; the half
+// and double scales keep router and client densities constant.
+func FamilyScales() []FamilyScale {
+	return []FamilyScale{
+		{Label: "half", Side: 91, NumRouters: 32, NumClients: 96},
+		{Label: "base", Side: 128, NumRouters: 64, NumClients: 192},
+		{Label: "double", Side: 181, NumRouters: 128, NumClients: 384},
+	}
+}
+
+// familyDistributions returns the four §5.1 distributions scaled to an
+// area of the given side (the base parameters are defined on side 128).
+func familyDistributions(side float64) []dist.Spec {
+	f := side / 128
+	return []dist.Spec{
+		dist.UniformSpec(),
+		dist.NormalSpec(side/2, side/2, 12.8*f),
+		dist.ExponentialSpec(32 * f),
+		dist.WeibullSpec(1.8, 36*f),
+	}
+}
+
+// BenchmarkFamily returns the generation configs of the full benchmark:
+// three scales × four distributions, all deriving their randomness from the
+// given seed. Instance names follow "family-<scale>-<distribution>".
+func BenchmarkFamily(seed uint64) []wmn.GenConfig {
+	var out []wmn.GenConfig
+	base := wmn.DefaultGenConfig()
+	for _, scale := range FamilyScales() {
+		for _, spec := range familyDistributions(scale.Side) {
+			out = append(out, wmn.GenConfig{
+				Name:       fmt.Sprintf("family-%s-%s", scale.Label, spec.Kind),
+				Width:      scale.Side,
+				Height:     scale.Side,
+				NumRouters: scale.NumRouters,
+				NumClients: scale.NumClients,
+				RadiusMin:  base.RadiusMin,
+				RadiusMax:  base.RadiusMax,
+				ClientDist: spec,
+				Seed:       seed,
+			})
+		}
+	}
+	return out
+}
+
+// GenerateFamily generates every instance of the benchmark family.
+func GenerateFamily(seed uint64) ([]*wmn.Instance, error) {
+	configs := BenchmarkFamily(seed)
+	out := make([]*wmn.Instance, 0, len(configs))
+	for _, cfg := range configs {
+		in, err := wmn.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: family %s: %w", cfg.Name, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}

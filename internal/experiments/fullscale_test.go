@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestFullScaleShapes runs the flagship Normal-distribution study and the
+// Figure 4 comparison at the paper's full scale (800 GA generations, 61
+// search phases, median of 3 repetitions) and asserts every encoded shape
+// claim. This is the reproduction's acceptance test; it takes tens of
+// seconds and is skipped under -short.
+func TestFullScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale reproduction test; run without -short")
+	}
+	cfg := Default()
+
+	study, err := RunStudy(StudyNormal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range study.CheckTableShape() {
+		t.Errorf("table shape: %s", v)
+	}
+	for _, v := range study.CheckFigureShape() {
+		t.Errorf("figure shape: %s", v)
+	}
+
+	cmp, err := RunSearchComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range cmp.CheckShape() {
+		t.Errorf("figure 4 shape: %s", v)
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestMedianBy(t *testing.T) {
+	key := func(v int) int { return v }
+	tests := []struct {
+		name string
+		give []int
+		want int
+	}{
+		{name: "single", give: []int{7}, want: 7},
+		{name: "odd", give: []int{9, 1, 5}, want: 5},
+		{name: "even lower median", give: []int{4, 1, 3, 2}, want: 2},
+		{name: "duplicates", give: []int{2, 2, 8}, want: 2},
+		{name: "already sorted", give: []int{1, 2, 3, 4, 5}, want: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := medianBy(tt.give, key); got != tt.want {
+				t.Errorf("medianBy(%v) = %d, want %d", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianByStableForEqualKeys(t *testing.T) {
+	type run struct {
+		id    int
+		giant int
+	}
+	runs := []run{{id: 0, giant: 5}, {id: 1, giant: 5}, {id: 2, giant: 5}}
+	got := medianBy(runs, func(r run) int { return r.giant })
+	// All keys equal: the sort is not stable by contract, but the result
+	// must still be one of the inputs with the median key.
+	if got.giant != 5 {
+		t.Errorf("medianBy returned key %d", got.giant)
+	}
+}

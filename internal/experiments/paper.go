@@ -1,0 +1,72 @@
+package experiments
+
+import "meshplace/internal/placement"
+
+// PaperRow is one row of the paper's Tables 1–3: the size of the giant
+// component and the user coverage, by the GA the method initialized and by
+// the method stand-alone.
+type PaperRow struct {
+	Method        placement.Method
+	GAGiant       int
+	GACoverage    int
+	StandGiant    int
+	StandCoverage int
+}
+
+// PaperTable returns the paper's reported values for the study, in the
+// paper's row order, so rendered output can show paper-vs-measured side by
+// side. The data is transcribed from Tables 1, 2 and 3 of the paper.
+func PaperTable(id StudyID) []PaperRow {
+	switch id {
+	case StudyNormal: // Table 1 (Normal distribution)
+		return []PaperRow{
+			{placement.Random, 39, 57, 3, 18},
+			{placement.ColLeft, 35, 52, 8, 3},
+			{placement.Diag, 50, 55, 17, 13},
+			{placement.Cross, 54, 74, 13, 19},
+			{placement.Near, 48, 60, 13, 35},
+			{placement.Corners, 31, 56, 26, 0},
+			{placement.HotSpot, 64, 86, 4, 10},
+		}
+	case StudyExponential: // Table 2 (Exponential distribution)
+		return []PaperRow{
+			{placement.Random, 29, 97, 3, 32},
+			{placement.ColLeft, 33, 47, 8, 1},
+			{placement.Diag, 54, 27, 17, 11},
+			{placement.Cross, 50, 40, 13, 1},
+			{placement.Near, 43, 44, 13, 0},
+			{placement.Corners, 26, 18, 26, 6},
+			{placement.HotSpot, 64, 2, 5, 8},
+		}
+	case StudyWeibull: // Table 3 (Weibull distribution)
+		return []PaperRow{
+			{placement.Random, 34, 82, 3, 24},
+			{placement.ColLeft, 33, 67, 8, 12},
+			{placement.Diag, 45, 56, 17, 1},
+			{placement.Cross, 46, 62, 13, 3},
+			{placement.Near, 45, 41, 13, 0},
+			{placement.Corners, 29, 93, 26, 12},
+			{placement.HotSpot, 63, 10, 4, 6},
+		}
+	default:
+		return nil
+	}
+}
+
+// TableNumber maps a study to the paper's table number.
+func TableNumber(id StudyID) int {
+	switch id {
+	case StudyNormal:
+		return 1
+	case StudyExponential:
+		return 2
+	case StudyWeibull:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// FigureNumber maps a study to the paper's figure number (the GA-evolution
+// figures; Figure 4 is the search comparison).
+func FigureNumber(id StudyID) int { return TableNumber(id) }

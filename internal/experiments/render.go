@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RenderTable writes the study's table in the layout of the paper's
+// Tables 1–3, with the paper's reported values alongside for comparison.
+func (s *Study) RenderTable(w io.Writer) error {
+	paper := make(map[string]PaperRow, len(s.Results))
+	for _, row := range PaperTable(s.ID) {
+		paper[row.Method.String()] = row
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table %d — giant component and user coverage (%s clients)\n", TableNumber(s.ID), s.ID)
+	fmt.Fprintf(&b, "instance: %s\n", s.Instance)
+	fmt.Fprintf(&b, "%-8s | %14s | %14s | %14s | %14s\n", "", "GA giant", "GA coverage", "alone giant", "alone coverage")
+	fmt.Fprintf(&b, "%-8s | %6s %7s | %6s %7s | %6s %7s | %6s %7s\n",
+		"method", "ours", "paper", "ours", "paper", "ours", "paper", "ours", "paper")
+	fmt.Fprintln(&b, strings.Repeat("-", 80))
+	for _, res := range s.Results {
+		p := paper[res.Method.String()]
+		fmt.Fprintf(&b, "%-8s | %6d %7d | %6d %7d | %6d %7d | %6d %7d\n",
+			res.Method,
+			res.GABest.GiantSize, p.GAGiant,
+			res.GABest.Covered, p.GACoverage,
+			res.StandAlone.GiantSize, p.StandGiant,
+			res.StandAlone.Covered, p.StandCoverage)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTableCSV writes the study's table as CSV with both measured and
+// paper values.
+func (s *Study) WriteTableCSV(w io.Writer) error {
+	paper := make(map[string]PaperRow, len(s.Results))
+	for _, row := range PaperTable(s.ID) {
+		paper[row.Method.String()] = row
+	}
+	var b strings.Builder
+	b.WriteString("method,ga_giant,ga_giant_paper,ga_coverage,ga_coverage_paper,alone_giant,alone_giant_paper,alone_coverage,alone_coverage_paper\n")
+	for _, res := range s.Results {
+		p := paper[res.Method.String()]
+		fields := []int{
+			res.GABest.GiantSize, p.GAGiant,
+			res.GABest.Covered, p.GACoverage,
+			res.StandAlone.GiantSize, p.StandGiant,
+			res.StandAlone.Covered, p.StandCoverage,
+		}
+		b.WriteString(res.Method.String())
+		for _, f := range fields {
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(f))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderFigure writes the study's GA-evolution series (the paper's
+// Figures 1–3) as an aligned text table: one column per ad hoc method, one
+// row per recorded generation.
+func (s *Study) RenderFigure(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d — evolution of giant component size, %s distribution (GA initialized by each ad hoc method)\n",
+		FigureNumber(s.ID), s.ID)
+	fmt.Fprintf(&b, "%6s", "gen")
+	for _, res := range s.Results {
+		fmt.Fprintf(&b, " %8s", res.Method)
+	}
+	b.WriteByte('\n')
+	if len(s.Results) == 0 {
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	for i := range s.Results[0].GAHistory {
+		fmt.Fprintf(&b, "%6d", s.Results[0].GAHistory[i].Generation)
+		for _, res := range s.Results {
+			if i < len(res.GAHistory) {
+				fmt.Fprintf(&b, " %8d", res.GAHistory[i].BestGiant)
+			} else {
+				fmt.Fprintf(&b, " %8s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFigureCSV writes the evolution series as CSV: generation plus one
+// column per method.
+func (s *Study) WriteFigureCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("generation")
+	for _, res := range s.Results {
+		b.WriteByte(',')
+		b.WriteString(res.Method.String())
+	}
+	b.WriteByte('\n')
+	if len(s.Results) > 0 {
+		for i := range s.Results[0].GAHistory {
+			b.WriteString(strconv.Itoa(s.Results[0].GAHistory[i].Generation))
+			for _, res := range s.Results {
+				b.WriteByte(',')
+				if i < len(res.GAHistory) {
+					b.WriteString(strconv.Itoa(res.GAHistory[i].BestGiant))
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderFigure writes Figure 4 — the giant component per phase of the
+// neighborhood search for each movement — as an aligned text table.
+func (c *SearchComparison) RenderFigure(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — evolution of giant component size, neighborhood search (%s clients)\n", c.Dist)
+	fmt.Fprintf(&b, "%6s", "phase")
+	for _, name := range c.Order {
+		fmt.Fprintf(&b, " %8s", name)
+	}
+	b.WriteByte('\n')
+	phases := 0
+	for _, name := range c.Order {
+		if n := len(c.Traces[name]); n > phases {
+			phases = n
+		}
+	}
+	for i := 0; i < phases; i++ {
+		fmt.Fprintf(&b, "%6d", i+1)
+		for _, name := range c.Order {
+			trace := c.Traces[name]
+			if i < len(trace) {
+				fmt.Fprintf(&b, " %8d", trace[i].Metrics.GiantSize)
+			} else {
+				fmt.Fprintf(&b, " %8s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFigureCSV writes Figure 4's series as CSV.
+func (c *SearchComparison) WriteFigureCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("phase")
+	for _, name := range c.Order {
+		b.WriteByte(',')
+		b.WriteString(name)
+	}
+	b.WriteByte('\n')
+	phases := 0
+	for _, name := range c.Order {
+		if n := len(c.Traces[name]); n > phases {
+			phases = n
+		}
+	}
+	for i := 0; i < phases; i++ {
+		b.WriteString(strconv.Itoa(i + 1))
+		for _, name := range c.Order {
+			b.WriteByte(',')
+			if trace := c.Traces[name]; i < len(trace) {
+				b.WriteString(strconv.Itoa(trace[i].Metrics.GiantSize))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

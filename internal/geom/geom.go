@@ -1,0 +1,164 @@
+// Package geom provides the small planar-geometry substrate used by the
+// mesh-router placement library: points, rectangles, and the distance
+// kernels that the topology builder, the placement heuristics and the
+// density grids are written against.
+//
+// All coordinates are float64 in a continuous plane. The deployment area of
+// an instance is the rectangle [0,W)×[0,H); helpers on Rect implement the
+// clamping and containment rules every other package relies on.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the deployment plane.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{X: p.X + q.X, Y: p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Scale returns p with both coordinates multiplied by k.
+func (p Point) Scale(k float64) Point { return Point{X: p.X * k, Y: p.Y * k} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root on the topology-construction hot path.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// WithinRadius reports whether q lies inside or on the disk of radius r
+// centered at p. Negative radii never contain anything.
+func (p Point) WithinRadius(q Point, r float64) bool {
+	if r < 0 {
+		return false
+	}
+	return p.Dist2(q) <= r*r
+}
+
+// Rect is an axis-aligned rectangle. Min is inclusive and Max is exclusive,
+// matching the half-open convention of the deployment area [0,W)×[0,H).
+type Rect struct {
+	Min Point `json:"min"`
+	Max Point `json:"max"`
+}
+
+// NewRect builds the rectangle spanned by two corner points, normalizing the
+// corner order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{X: math.Min(a.X, b.X), Y: math.Min(a.Y, b.Y)},
+		Max: Point{X: math.Max(a.X, b.X), Y: math.Max(a.Y, b.Y)},
+	}
+}
+
+// Area returns the rectangle [0,w)×[0,h); the standard deployment area.
+func Area(w, h float64) Rect {
+	return Rect{Max: Point{X: w, Y: h}}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Size returns the area of r; degenerate rectangles have size 0.
+func (r Rect) Size() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool {
+	return r.Max.X <= r.Min.X || r.Max.Y <= r.Min.Y
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies in the half-open rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// Clamp returns the point of r closest to p. Points already inside are
+// returned unchanged; the result is kept strictly below Max so that it still
+// satisfies Contains for non-empty rectangles.
+func (r Rect) Clamp(p Point) Point {
+	if r.Empty() {
+		return r.Min
+	}
+	p.X = clampHalfOpen(p.X, r.Min.X, r.Max.X)
+	p.Y = clampHalfOpen(p.Y, r.Min.Y, r.Max.Y)
+	return p
+}
+
+// Intersect returns the overlap of r and s; the result is Empty when they
+// do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Min: Point{X: math.Max(r.Min.X, s.Min.X), Y: math.Max(r.Min.Y, s.Min.Y)},
+		Max: Point{X: math.Min(r.Max.X, s.Max.X), Y: math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Inset shrinks r by d on every side. Insetting past the center yields an
+// empty rectangle.
+func (r Rect) Inset(d float64) Rect {
+	out := Rect{
+		Min: Point{X: r.Min.X + d, Y: r.Min.Y + d},
+		Max: Point{X: r.Max.X - d, Y: r.Max.Y - d},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s - %s]", r.Min, r.Max)
+}
+
+// clampHalfOpen clamps v into [lo, hi) using the largest float64 strictly
+// below hi as the upper bound.
+func clampHalfOpen(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v >= hi {
+		return math.Nextafter(hi, lo)
+	}
+	return v
+}

@@ -1,0 +1,296 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{name: "same point", p: Pt(1, 1), q: Pt(1, 1), want: 0},
+		{name: "unit x", p: Pt(0, 0), q: Pt(1, 0), want: 1},
+		{name: "unit y", p: Pt(0, 0), q: Pt(0, 1), want: 1},
+		{name: "3-4-5 triangle", p: Pt(0, 0), q: Pt(3, 4), want: 5},
+		{name: "negative coords", p: Pt(-3, -4), q: Pt(0, 0), want: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); got != tt.want {
+				t.Errorf("Dist(%v, %v) = %g, want %g", tt.p, tt.q, got, tt.want)
+			}
+			if got := tt.p.Dist2(tt.q); got != tt.want*tt.want {
+				t.Errorf("Dist2(%v, %v) = %g, want %g", tt.p, tt.q, got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v, want (4,-2)", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v, want (-2,6)", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v, want (2,4)", got)
+	}
+	if got := Pt(3, 4).Norm(); got != 5 {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+}
+
+func TestDistSymmetricProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		// int16 keeps coordinates in a well-conditioned float range.
+		a := Pt(float64(ax), float64(ay))
+		b := Pt(float64(bx), float64(by))
+		c := Pt(float64(cx), float64(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinRadius(t *testing.T) {
+	center := Pt(5, 5)
+	tests := []struct {
+		name string
+		q    Point
+		r    float64
+		want bool
+	}{
+		{name: "center itself", q: Pt(5, 5), r: 0, want: true},
+		{name: "on boundary", q: Pt(8, 9), r: 5, want: true},
+		{name: "just outside", q: Pt(8, 9), r: 4.999, want: false},
+		{name: "negative radius", q: Pt(5, 5), r: -1, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := center.WithinRadius(tt.q, tt.r); got != tt.want {
+				t.Errorf("WithinRadius(%v, %g) = %v, want %v", tt.q, tt.r, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Area(128, 64)
+	if r.Width() != 128 || r.Height() != 64 {
+		t.Fatalf("Area(128,64) dims = %gx%g", r.Width(), r.Height())
+	}
+	if r.Size() != 128*64 {
+		t.Errorf("Size = %g, want %d", r.Size(), 128*64)
+	}
+	if got := r.Center(); got != Pt(64, 32) {
+		t.Errorf("Center = %v, want (64,32)", got)
+	}
+	if r.Empty() {
+		t.Error("non-degenerate rect reported Empty")
+	}
+}
+
+func TestNewRectNormalizesCorners(t *testing.T) {
+	r := NewRect(Pt(5, 1), Pt(2, 7))
+	if r.Min != Pt(2, 1) || r.Max != Pt(5, 7) {
+		t.Errorf("NewRect = %v, want [(2,1)-(5,7)]", r)
+	}
+}
+
+func TestRectContainsHalfOpen(t *testing.T) {
+	r := Area(10, 10)
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{name: "interior", p: Pt(5, 5), want: true},
+		{name: "min corner inclusive", p: Pt(0, 0), want: true},
+		{name: "max corner exclusive", p: Pt(10, 10), want: false},
+		{name: "max x exclusive", p: Pt(10, 5), want: false},
+		{name: "max y exclusive", p: Pt(5, 10), want: false},
+		{name: "outside negative", p: Pt(-0.1, 5), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectClampProducesContainedPoints(t *testing.T) {
+	r := Area(128, 128)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		return r.Contains(r.Clamp(Pt(x, y)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectClampIdentityInside(t *testing.T) {
+	r := Area(100, 100)
+	p := Pt(33.25, 66.5)
+	if got := r.Clamp(p); got != p {
+		t.Errorf("Clamp of interior point moved it: %v -> %v", p, got)
+	}
+}
+
+func TestRectClampEmpty(t *testing.T) {
+	var r Rect // empty
+	if got := r.Clamp(Pt(3, 4)); got != r.Min {
+		t.Errorf("Clamp on empty rect = %v, want %v", got, r.Min)
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(Pt(0, 0), Pt(10, 10))
+	tests := []struct {
+		name  string
+		b     Rect
+		want  Rect
+		empty bool
+	}{
+		{name: "overlap", b: NewRect(Pt(5, 5), Pt(15, 15)), want: NewRect(Pt(5, 5), Pt(10, 10))},
+		{name: "contained", b: NewRect(Pt(2, 2), Pt(3, 3)), want: NewRect(Pt(2, 2), Pt(3, 3))},
+		{name: "disjoint", b: NewRect(Pt(20, 20), Pt(30, 30)), empty: true},
+		{name: "touching edges", b: NewRect(Pt(10, 0), Pt(20, 10)), empty: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := a.Intersect(tt.b)
+			if tt.empty {
+				if !got.Empty() {
+					t.Errorf("Intersect = %v, want empty", got)
+				}
+				return
+			}
+			if got != tt.want {
+				t.Errorf("Intersect = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectInset(t *testing.T) {
+	r := Area(10, 10)
+	if got := r.Inset(2); got != NewRect(Pt(2, 2), Pt(8, 8)) {
+		t.Errorf("Inset(2) = %v", got)
+	}
+	if got := r.Inset(6); !got.Empty() {
+		t.Errorf("over-inset should be empty, got %v", got)
+	}
+}
+
+func TestGridCellIndexRoundTrip(t *testing.T) {
+	g, err := NewGridDims(Area(128, 128), 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCells() != 64 {
+		t.Fatalf("NumCells = %d, want 64", g.NumCells())
+	}
+	for idx := 0; idx < g.NumCells(); idx++ {
+		cell := g.Cell(idx)
+		if got := g.CellIndex(cell.Center()); got != idx {
+			t.Errorf("CellIndex(center of cell %d) = %d", idx, got)
+		}
+	}
+}
+
+func TestGridCellIndexClampsOutside(t *testing.T) {
+	g, err := NewGridDims(Area(100, 100), 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		p    Point
+		want int
+	}{
+		{name: "far negative", p: Pt(-50, -50), want: 0},
+		{name: "far positive", p: Pt(500, 500), want: 99},
+		{name: "outside x only", p: Pt(500, 0), want: 9},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := g.CellIndex(tt.p); got != tt.want {
+				t.Errorf("CellIndex(%v) = %d, want %d", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewGridRoundsUp(t *testing.T) {
+	g, err := NewGrid(Area(100, 100), 30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cols != 4 || g.Rows != 4 {
+		t.Errorf("grid dims = %dx%d, want 4x4 (100/30 rounded up)", g.Cols, g.Rows)
+	}
+}
+
+func TestNewGridErrors(t *testing.T) {
+	if _, err := NewGrid(Rect{}, 10, 10); err == nil {
+		t.Error("NewGrid over empty bounds should fail")
+	}
+	if _, err := NewGrid(Area(10, 10), 0, 5); err == nil {
+		t.Error("NewGrid with zero cell width should fail")
+	}
+	if _, err := NewGridDims(Area(10, 10), 0, 3); err == nil {
+		t.Error("NewGridDims with zero cols should fail")
+	}
+}
+
+func TestGridCellsTileBounds(t *testing.T) {
+	g, err := NewGridDims(Area(128, 96), 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := 0; i < g.NumCells(); i++ {
+		total += g.Cell(i).Size()
+	}
+	if math.Abs(total-128*96) > 1e-6 {
+		t.Errorf("cells tile %g area units, want %d", total, 128*96)
+	}
+}
+
+func TestGridEveryPointMapsToContainingCell(t *testing.T) {
+	g, err := NewGridDims(Area(64, 64), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(xu, yu uint16) bool {
+		p := Pt(float64(xu)/65535*64, float64(yu)/65535*64)
+		p = g.Bounds.Clamp(p)
+		cell := g.Cell(g.CellIndex(p))
+		return cell.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

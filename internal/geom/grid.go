@@ -1,0 +1,86 @@
+package geom
+
+import "fmt"
+
+// Grid partitions a rectangle into Cols×Rows equal cells. It backs the
+// density computations used by the HotSpot placement method and by the swap
+// movement of the neighborhood search (Algorithm 3 chooses an Hg×Wg "small
+// grid area"; a Grid cell is exactly that area).
+type Grid struct {
+	Bounds Rect
+	Cols   int
+	Rows   int
+}
+
+// NewGrid partitions bounds into cells of approximately cellW×cellH,
+// rounding the cell count up so the whole rectangle is covered.
+func NewGrid(bounds Rect, cellW, cellH float64) (Grid, error) {
+	if bounds.Empty() {
+		return Grid{}, fmt.Errorf("geom: grid over empty bounds %v", bounds)
+	}
+	if cellW <= 0 || cellH <= 0 {
+		return Grid{}, fmt.Errorf("geom: non-positive cell size %gx%g", cellW, cellH)
+	}
+	cols := int(bounds.Width()/cellW + 0.999999)
+	rows := int(bounds.Height()/cellH + 0.999999)
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return Grid{Bounds: bounds, Cols: cols, Rows: rows}, nil
+}
+
+// NewGridDims partitions bounds into exactly cols×rows cells.
+func NewGridDims(bounds Rect, cols, rows int) (Grid, error) {
+	if bounds.Empty() {
+		return Grid{}, fmt.Errorf("geom: grid over empty bounds %v", bounds)
+	}
+	if cols < 1 || rows < 1 {
+		return Grid{}, fmt.Errorf("geom: non-positive grid dims %dx%d", cols, rows)
+	}
+	return Grid{Bounds: bounds, Cols: cols, Rows: rows}, nil
+}
+
+// NumCells returns the total number of cells.
+func (g Grid) NumCells() int { return g.Cols * g.Rows }
+
+// CellSize returns the width and height of one cell.
+func (g Grid) CellSize() (w, h float64) {
+	return g.Bounds.Width() / float64(g.Cols), g.Bounds.Height() / float64(g.Rows)
+}
+
+// CellIndex returns the flat index of the cell containing p. Points outside
+// the bounds are clamped to the nearest cell, so every point maps somewhere.
+func (g Grid) CellIndex(p Point) int {
+	cw, ch := g.CellSize()
+	col := int((p.X - g.Bounds.Min.X) / cw)
+	row := int((p.Y - g.Bounds.Min.Y) / ch)
+	col = clampInt(col, 0, g.Cols-1)
+	row = clampInt(row, 0, g.Rows-1)
+	return row*g.Cols + col
+}
+
+// Cell returns the rectangle of the cell with the given flat index.
+func (g Grid) Cell(idx int) Rect {
+	idx = clampInt(idx, 0, g.NumCells()-1)
+	col := idx % g.Cols
+	row := idx / g.Cols
+	cw, ch := g.CellSize()
+	min := Point{
+		X: g.Bounds.Min.X + float64(col)*cw,
+		Y: g.Bounds.Min.Y + float64(row)*ch,
+	}
+	return Rect{Min: min, Max: Point{X: min.X + cw, Y: min.Y + ch}}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

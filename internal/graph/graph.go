@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected graph over vertices 0..N-1 stored as adjacency
+// lists. Self-loops are rejected; parallel edges are ignored by the
+// analyses (components, degrees) but not deduplicated on insert, so callers
+// that need simple graphs should add each edge once.
+type Graph struct {
+	adj   [][]int
+	edges int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of AddEdge calls that succeeded.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddEdge inserts the undirected edge {a, b}.
+func (g *Graph) AddEdge(a, b int) error {
+	if a < 0 || a >= len(g.adj) || b < 0 || b >= len(g.adj) {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", a, b, len(g.adj))
+	}
+	if a == b {
+		return fmt.Errorf("graph: self-loop on vertex %d", a)
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.edges++
+	return nil
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the number of incident edge endpoints at v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Components labels every vertex with a component id (0-based, in order of
+// first discovery) and returns the label slice together with the size of
+// each component.
+func (g *Graph) Components() (labels []int, sizes []int) {
+	n := len(g.adj)
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int
+	for start := 0; start < n; start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		id := len(sizes)
+		labels[start] = id
+		count := 1
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.adj[v] {
+				if labels[w] == -1 {
+					labels[w] = id
+					count++
+					queue = append(queue, w)
+				}
+			}
+		}
+		sizes = append(sizes, count)
+	}
+	return labels, sizes
+}
+
+// GiantComponent returns the vertices of the largest connected component,
+// sorted ascending. Ties are broken toward the component discovered first,
+// which makes the result deterministic.
+func (g *Graph) GiantComponent() []int {
+	labels, sizes := g.Components()
+	if len(sizes) == 0 {
+		return nil
+	}
+	best := 0
+	for id, sz := range sizes {
+		if sz > sizes[best] {
+			best = id
+		}
+	}
+	members := make([]int, 0, sizes[best])
+	for v, id := range labels {
+		if id == best {
+			members = append(members, v)
+		}
+	}
+	return members
+}
+
+// GiantComponentSize returns the size of the largest connected component,
+// or 0 for the empty graph.
+func (g *Graph) GiantComponentSize() int {
+	_, sizes := g.Components()
+	max := 0
+	for _, sz := range sizes {
+		if sz > max {
+			max = sz
+		}
+	}
+	return max
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree. Useful for topology diagnostics and tests.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := range g.adj {
+		h[len(g.adj[v])]++
+	}
+	return h
+}
+
+// SortedDegrees returns all vertex degrees in ascending order.
+func (g *Graph) SortedDegrees() []int {
+	d := make([]int, len(g.adj))
+	for v := range g.adj {
+		d[v] = len(g.adj[v])
+	}
+	sort.Ints(d)
+	return d
+}

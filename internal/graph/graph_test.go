@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meshplace/internal/rng"
+)
+
+func mustEdge(t *testing.T, g *Graph, a, b int) {
+	t.Helper()
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", a, b, err)
+	}
+}
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Len() != 5 || u.NumSets() != 5 || u.MaxSetSize() != 1 {
+		t.Fatalf("fresh union-find: len=%d sets=%d max=%d", u.Len(), u.NumSets(), u.MaxSetSize())
+	}
+	if !u.Union(0, 1) {
+		t.Error("first union reported no-op")
+	}
+	if u.Union(1, 0) {
+		t.Error("repeated union reported a merge")
+	}
+	if !u.Connected(0, 1) {
+		t.Error("0 and 1 should be connected")
+	}
+	if u.Connected(0, 2) {
+		t.Error("0 and 2 should not be connected")
+	}
+	if u.SetSize(1) != 2 {
+		t.Errorf("SetSize(1) = %d, want 2", u.SetSize(1))
+	}
+	if u.NumSets() != 4 {
+		t.Errorf("NumSets = %d, want 4", u.NumSets())
+	}
+}
+
+func TestUnionFindMaxSetSizeTracking(t *testing.T) {
+	u := NewUnionFind(8)
+	pairs := [][2]int{{0, 1}, {2, 3}, {4, 5}, {0, 2}, {6, 7}}
+	wantMax := []int{2, 2, 2, 4, 4}
+	for i, pr := range pairs {
+		u.Union(pr[0], pr[1])
+		if u.MaxSetSize() != wantMax[i] {
+			t.Fatalf("after union %d: MaxSetSize = %d, want %d", i, u.MaxSetSize(), wantMax[i])
+		}
+	}
+	u.Union(4, 6) // {4,5,6,7}
+	u.Union(0, 4) // all 8
+	if u.MaxSetSize() != 8 || u.NumSets() != 1 {
+		t.Errorf("final: max=%d sets=%d, want 8 and 1", u.MaxSetSize(), u.NumSets())
+	}
+}
+
+func TestUnionFindZeroElements(t *testing.T) {
+	u := NewUnionFind(0)
+	if u.Len() != 0 || u.NumSets() != 0 || u.MaxSetSize() != 0 {
+		t.Errorf("empty union-find: len=%d sets=%d max=%d", u.Len(), u.NumSets(), u.MaxSetSize())
+	}
+	u = NewUnionFind(-3)
+	if u.Len() != 0 {
+		t.Errorf("negative size treated as %d elements", u.Len())
+	}
+}
+
+// TestUnionFindMatchesNaive cross-checks union-find connectivity against a
+// naive label-propagation model on random union sequences.
+func TestUnionFindMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n = 24
+		r := rng.New(seed)
+		u := NewUnionFind(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for k := 0; k < 40; k++ {
+			a, b := r.IntN(n), r.IntN(n)
+			if a == b {
+				continue
+			}
+			u.Union(a, b)
+			relabel(labels[a], labels[b])
+		}
+		counts := map[int]int{}
+		maxNaive := 0
+		for _, l := range labels {
+			counts[l]++
+			if counts[l] > maxNaive {
+				maxNaive = counts[l]
+			}
+		}
+		if u.MaxSetSize() != maxNaive {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Connected(i, j) != (labels[i] == labels[j]) {
+					return false
+				}
+			}
+		}
+		return u.NumSets() == len(counts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name string
+		a, b int
+	}{
+		{name: "negative", a: -1, b: 0},
+		{name: "out of range", a: 0, b: 3},
+		{name: "self loop", a: 1, b: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddEdge(tt.a, tt.b); err == nil {
+				t.Errorf("AddEdge(%d,%d) should fail", tt.a, tt.b)
+			}
+		})
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("failed inserts counted: NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestGraphComponents(t *testing.T) {
+	// Two triangles and an isolated vertex.
+	g := New(7)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 0)
+	mustEdge(t, g, 3, 4)
+	mustEdge(t, g, 4, 5)
+	mustEdge(t, g, 5, 3)
+	labels, sizes := g.Components()
+	if len(sizes) != 3 {
+		t.Fatalf("components = %d, want 3 (sizes %v)", len(sizes), sizes)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("first triangle split across components")
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Error("second triangle split across components")
+	}
+	if labels[0] == labels[3] || labels[0] == labels[6] {
+		t.Error("distinct components share a label")
+	}
+	if sizes[labels[6]] != 1 {
+		t.Errorf("isolated vertex component size = %d", sizes[labels[6]])
+	}
+}
+
+func TestGiantComponent(t *testing.T) {
+	g := New(6)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 4)
+	members := g.GiantComponent()
+	if len(members) != 3 {
+		t.Fatalf("giant = %v, want 3 members", members)
+	}
+	want := []int{0, 1, 2}
+	for i, v := range members {
+		if v != want[i] {
+			t.Fatalf("giant = %v, want %v (sorted)", members, want)
+		}
+	}
+	if g.GiantComponentSize() != 3 {
+		t.Errorf("GiantComponentSize = %d, want 3", g.GiantComponentSize())
+	}
+}
+
+func TestGiantComponentEmptyAndSingleton(t *testing.T) {
+	if got := New(0).GiantComponentSize(); got != 0 {
+		t.Errorf("empty graph giant = %d", got)
+	}
+	if got := New(1).GiantComponentSize(); got != 1 {
+		t.Errorf("singleton graph giant = %d", got)
+	}
+	if members := New(0).GiantComponent(); members != nil {
+		t.Errorf("empty graph giant members = %v", members)
+	}
+}
+
+func TestDegreeAccounting(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 0, 3)
+	if g.Degree(0) != 3 || g.Degree(1) != 1 {
+		t.Errorf("degrees: %d and %d, want 3 and 1", g.Degree(0), g.Degree(1))
+	}
+	hist := g.DegreeHistogram()
+	if hist[3] != 1 || hist[1] != 3 {
+		t.Errorf("histogram = %v, want {1:3, 3:1}", hist)
+	}
+	degrees := g.SortedDegrees()
+	want := []int{1, 1, 1, 3}
+	for i, d := range degrees {
+		if d != want[i] {
+			t.Fatalf("SortedDegrees = %v, want %v", degrees, want)
+		}
+	}
+}
+
+// TestGiantMonotoneUnderEdgeAddition checks the invariant the optimization
+// relies on: adding an edge never shrinks the giant component.
+func TestGiantMonotoneUnderEdgeAddition(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n = 20
+		r := rng.New(seed)
+		g := New(n)
+		prev := 1
+		for k := 0; k < 30; k++ {
+			a, b := r.IntN(n), r.IntN(n)
+			if a == b {
+				continue
+			}
+			if err := g.AddEdge(a, b); err != nil {
+				return false
+			}
+			cur := g.GiantComponentSize()
+			if cur < prev || cur > n {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComponentsSumToVertexCount checks that component sizes always
+// partition the vertex set.
+func TestComponentsSumToVertexCount(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		r := rng.New(seed)
+		g := New(n)
+		for k := 0; k < n; k++ {
+			a, b := r.IntN(n), r.IntN(n)
+			if a != b {
+				_ = g.AddEdge(a, b)
+			}
+		}
+		_, sizes := g.Components()
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComponentsAgreeWithUnionFind cross-checks the BFS components against
+// union-find on identical edge sets.
+func TestComponentsAgreeWithUnionFind(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n = 30
+		r := rng.New(seed)
+		g := New(n)
+		u := NewUnionFind(n)
+		for k := 0; k < 45; k++ {
+			a, b := r.IntN(n), r.IntN(n)
+			if a == b {
+				continue
+			}
+			_ = g.AddEdge(a, b)
+			u.Union(a, b)
+		}
+		if g.GiantComponentSize() != u.MaxSetSize() {
+			return false
+		}
+		labels, _ := g.Components()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (labels[i] == labels[j]) != u.Connected(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package graph provides the connectivity substrate for the WMN model:
+// a union–find structure, undirected graphs over integer vertices,
+// connected components and the giant-component measurement that is the
+// paper's primary optimization objective.
+package graph
+
+// UnionFind is a disjoint-set forest with union by size and path halving.
+// The zero value is unusable; construct with NewUnionFind.
+type UnionFind struct {
+	parent []int
+	size   []int
+	sets   int
+	max    int
+}
+
+// NewUnionFind returns a union–find over n singleton elements 0..n-1.
+func NewUnionFind(n int) *UnionFind {
+	if n < 0 {
+		n = 0
+	}
+	u := &UnionFind{
+		parent: make([]int, n),
+		size:   make([]int, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	if n > 0 {
+		u.max = 1
+	}
+	return u
+}
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and reports whether they were distinct.
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	if u.size[ra] > u.max {
+		u.max = u.size[ra]
+	}
+	u.sets--
+	return true
+}
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b int) bool {
+	return u.Find(a) == u.Find(b)
+}
+
+// SetSize returns the size of x's set.
+func (u *UnionFind) SetSize(x int) int {
+	return u.size[u.Find(x)]
+}
+
+// NumSets returns the current number of disjoint sets.
+func (u *UnionFind) NumSets() int { return u.sets }
+
+// MaxSetSize returns the size of the largest set — the giant component when
+// the union–find tracks a connectivity graph. It is maintained
+// incrementally so reading it is O(1).
+func (u *UnionFind) MaxSetSize() int { return u.max }

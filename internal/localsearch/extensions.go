@@ -1,0 +1,266 @@
+package localsearch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"meshplace/internal/rng"
+	"meshplace/internal/wmn"
+)
+
+// This file carries the paper's stated future work (§6: "We are currently
+// implementing full featured local search methods for the mesh router nodes
+// placement"): a first-improvement hill climber, simulated annealing and
+// tabu search, all built on the same Movement abstraction as the
+// neighborhood search of §4.
+
+// HillClimbConfig drives HillClimb.
+type HillClimbConfig struct {
+	Movement Movement
+	// MaxSteps bounds the number of accepted or rejected proposals.
+	// Default 2048.
+	MaxSteps int
+	// MaxNoImprove stops the climb after this many consecutive rejected
+	// proposals. Default 256.
+	MaxNoImprove int
+	RecordTrace  bool
+}
+
+func (c HillClimbConfig) withDefaults() HillClimbConfig {
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 2048
+	}
+	if c.MaxNoImprove == 0 {
+		c.MaxNoImprove = 256
+	}
+	return c
+}
+
+// HillClimb runs a first-improvement hill climber: each proposal is
+// accepted immediately when it improves fitness, which trades the
+// best-neighbor scan of Algorithm 2 for many cheap steps.
+func HillClimb(eval *wmn.Evaluator, initial wmn.Solution, cfg HillClimbConfig, r *rng.Rand) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Movement == nil {
+		return Result{}, errors.New("localsearch: hill climb has no movement")
+	}
+	if err := initial.Validate(eval.Instance()); err != nil {
+		return Result{}, fmt.Errorf("localsearch: initial solution: %w", err)
+	}
+
+	cur := initial.Clone()
+	curMetrics := eval.MustEvaluate(cur)
+	res := Result{Best: cur.Clone(), BestMetrics: curMetrics}
+	scratch := wmn.NewSolution(len(cur.Positions))
+
+	noImprove := 0
+	for step := 1; step <= cfg.MaxSteps && noImprove < cfg.MaxNoImprove; step++ {
+		if !cfg.Movement.Propose(eval.Instance(), cur, scratch, r) {
+			noImprove++
+			continue
+		}
+		m := eval.MustEvaluate(scratch)
+		res.Evaluations++
+		if m.Fitness > curMetrics.Fitness {
+			copy(cur.Positions, scratch.Positions)
+			curMetrics = m
+			noImprove = 0
+			if m.Fitness > res.BestMetrics.Fitness {
+				res.Best = cur.Clone()
+				res.BestMetrics = m
+			}
+		} else {
+			noImprove++
+		}
+		res.Phases = step
+		if cfg.RecordTrace {
+			res.Trace = append(res.Trace, PhaseRecord{Phase: step, Metrics: curMetrics, Accepted: noImprove == 0})
+		}
+	}
+	return res, nil
+}
+
+// AnnealConfig drives Anneal.
+type AnnealConfig struct {
+	Movement Movement
+	// Steps is the total number of proposals. Default 4096.
+	Steps int
+	// StartTemp and EndTemp bound the geometric cooling schedule, in
+	// fitness units. Defaults 0.05 and 0.0005 (fitness spans [0,1]).
+	StartTemp, EndTemp float64
+	RecordTrace        bool
+	// TraceEvery records a trace point every that many steps. Default 64.
+	TraceEvery int
+}
+
+func (c AnnealConfig) withDefaults() AnnealConfig {
+	if c.Steps == 0 {
+		c.Steps = 4096
+	}
+	if c.StartTemp == 0 {
+		c.StartTemp = 0.05
+	}
+	if c.EndTemp == 0 {
+		c.EndTemp = 0.0005
+	}
+	if c.TraceEvery == 0 {
+		c.TraceEvery = 64
+	}
+	return c
+}
+
+// Anneal runs simulated annealing: worse neighbors are accepted with
+// probability exp(Δf/T) under a geometric cooling schedule from StartTemp
+// to EndTemp.
+func Anneal(eval *wmn.Evaluator, initial wmn.Solution, cfg AnnealConfig, r *rng.Rand) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Movement == nil {
+		return Result{}, errors.New("localsearch: anneal has no movement")
+	}
+	if cfg.StartTemp <= 0 || cfg.EndTemp <= 0 || cfg.EndTemp > cfg.StartTemp {
+		return Result{}, fmt.Errorf("localsearch: invalid temperature range [%g,%g]", cfg.EndTemp, cfg.StartTemp)
+	}
+	if err := initial.Validate(eval.Instance()); err != nil {
+		return Result{}, fmt.Errorf("localsearch: initial solution: %w", err)
+	}
+
+	cur := initial.Clone()
+	curMetrics := eval.MustEvaluate(cur)
+	res := Result{Best: cur.Clone(), BestMetrics: curMetrics}
+	scratch := wmn.NewSolution(len(cur.Positions))
+
+	cooling := math.Pow(cfg.EndTemp/cfg.StartTemp, 1/float64(cfg.Steps))
+	temp := cfg.StartTemp
+	for step := 1; step <= cfg.Steps; step++ {
+		if cfg.Movement.Propose(eval.Instance(), cur, scratch, r) {
+			m := eval.MustEvaluate(scratch)
+			res.Evaluations++
+			delta := m.Fitness - curMetrics.Fitness
+			if delta >= 0 || r.Float64() < math.Exp(delta/temp) {
+				copy(cur.Positions, scratch.Positions)
+				curMetrics = m
+				if m.Fitness > res.BestMetrics.Fitness {
+					res.Best = cur.Clone()
+					res.BestMetrics = m
+				}
+			}
+		}
+		temp *= cooling
+		res.Phases = step
+		if cfg.RecordTrace && step%cfg.TraceEvery == 0 {
+			res.Trace = append(res.Trace, PhaseRecord{Phase: step, Metrics: curMetrics, Accepted: true})
+		}
+	}
+	return res, nil
+}
+
+// TabuConfig drives Tabu.
+type TabuConfig struct {
+	Movement Movement
+	// MaxPhases and NeighborsPerPhase mirror the neighborhood search
+	// (best-neighbor per phase). Defaults 64 and 32.
+	MaxPhases         int
+	NeighborsPerPhase int
+	// Tenure is the number of phases a changed router stays tabu.
+	// Default 8.
+	Tenure      int
+	RecordTrace bool
+}
+
+func (c TabuConfig) withDefaults() TabuConfig {
+	if c.MaxPhases == 0 {
+		c.MaxPhases = 64
+	}
+	if c.NeighborsPerPhase == 0 {
+		c.NeighborsPerPhase = 32
+	}
+	if c.Tenure == 0 {
+		c.Tenure = 8
+	}
+	return c
+}
+
+// Tabu runs a tabu search: per phase the best non-tabu neighbor is accepted
+// even when it worsens fitness (escaping local optima), routers changed by
+// an accepted move become tabu for Tenure phases, and a tabu move is still
+// allowed when it beats the best solution seen (aspiration).
+func Tabu(eval *wmn.Evaluator, initial wmn.Solution, cfg TabuConfig, r *rng.Rand) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Movement == nil {
+		return Result{}, errors.New("localsearch: tabu has no movement")
+	}
+	if err := initial.Validate(eval.Instance()); err != nil {
+		return Result{}, fmt.Errorf("localsearch: initial solution: %w", err)
+	}
+
+	cur := initial.Clone()
+	curMetrics := eval.MustEvaluate(cur)
+	res := Result{Best: cur.Clone(), BestMetrics: curMetrics}
+
+	n := len(cur.Positions)
+	tabuUntil := make([]int, n)
+	scratch := wmn.NewSolution(n)
+	bestNeighbor := wmn.NewSolution(n)
+
+	for phase := 1; phase <= cfg.MaxPhases; phase++ {
+		found := false
+		var foundMetrics wmn.Metrics
+		var foundChanged []int
+		for k := 0; k < cfg.NeighborsPerPhase; k++ {
+			if !cfg.Movement.Propose(eval.Instance(), cur, scratch, r) {
+				continue
+			}
+			changed := changedRouters(cur, scratch)
+			if len(changed) == 0 {
+				continue
+			}
+			m := eval.MustEvaluate(scratch)
+			res.Evaluations++
+			if isTabu(changed, tabuUntil, phase) && m.Fitness <= res.BestMetrics.Fitness {
+				continue // tabu and not aspirational
+			}
+			if !found || m.Fitness > foundMetrics.Fitness {
+				found = true
+				foundMetrics = m
+				foundChanged = append(foundChanged[:0], changed...)
+				copy(bestNeighbor.Positions, scratch.Positions)
+			}
+		}
+		if found {
+			copy(cur.Positions, bestNeighbor.Positions)
+			curMetrics = foundMetrics
+			for _, i := range foundChanged {
+				tabuUntil[i] = phase + cfg.Tenure
+			}
+			if curMetrics.Fitness > res.BestMetrics.Fitness {
+				res.Best = cur.Clone()
+				res.BestMetrics = curMetrics
+			}
+		}
+		res.Phases = phase
+		if cfg.RecordTrace {
+			res.Trace = append(res.Trace, PhaseRecord{Phase: phase, Metrics: curMetrics, Accepted: found})
+		}
+	}
+	return res, nil
+}
+
+func changedRouters(a, b wmn.Solution) []int {
+	var out []int
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func isTabu(changed []int, tabuUntil []int, phase int) bool {
+	for _, i := range changed {
+		if tabuUntil[i] >= phase {
+			return true
+		}
+	}
+	return false
+}

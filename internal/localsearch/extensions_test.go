@@ -1,0 +1,182 @@
+package localsearch
+
+import (
+	"testing"
+
+	"meshplace/internal/rng"
+	"meshplace/internal/wmn"
+)
+
+func TestHillClimbImproves(t *testing.T) {
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	initial := randomSolution(in, 30)
+	res, err := HillClimb(eval, initial, HillClimbConfig{
+		Movement: NewSwapMovement(),
+		MaxSteps: 400,
+	}, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMetrics.Fitness <= eval.MustEvaluate(initial).Fitness {
+		t.Errorf("hill climb did not improve: %v", res.BestMetrics)
+	}
+	if err := res.Best.Validate(in); err != nil {
+		t.Errorf("best invalid: %v", err)
+	}
+}
+
+func TestHillClimbStopsOnPlateau(t *testing.T) {
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	res, err := HillClimb(eval, randomSolution(in, 32), HillClimbConfig{
+		Movement:     RandomMovement{},
+		MaxSteps:     100000,
+		MaxNoImprove: 50,
+	}, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases >= 100000 {
+		t.Error("hill climb never plateaued")
+	}
+}
+
+func TestHillClimbValidation(t *testing.T) {
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	if _, err := HillClimb(eval, randomSolution(in, 1), HillClimbConfig{}, rng.New(1)); err == nil {
+		t.Error("hill climb without movement accepted")
+	}
+	if _, err := HillClimb(eval, wmn.NewSolution(1), HillClimbConfig{Movement: RandomMovement{}}, rng.New(1)); err == nil {
+		t.Error("mismatched initial accepted")
+	}
+}
+
+func TestAnnealImprovesAndTracksBest(t *testing.T) {
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	initial := randomSolution(in, 34)
+	res, err := Anneal(eval, initial, AnnealConfig{
+		Movement:    NewSwapMovement(),
+		Steps:       800,
+		RecordTrace: true,
+	}, rng.New(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMetrics.Fitness < eval.MustEvaluate(initial).Fitness {
+		t.Errorf("annealing best below initial: %v", res.BestMetrics)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("no trace recorded")
+	}
+	// The best must dominate every trace point (best-so-far semantics).
+	for _, rec := range res.Trace {
+		if rec.Metrics.Fitness > res.BestMetrics.Fitness+1e-12 {
+			t.Fatalf("trace fitness %g above reported best %g", rec.Metrics.Fitness, res.BestMetrics.Fitness)
+		}
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	initial := randomSolution(in, 1)
+	if _, err := Anneal(eval, initial, AnnealConfig{}, rng.New(1)); err == nil {
+		t.Error("anneal without movement accepted")
+	}
+	if _, err := Anneal(eval, initial, AnnealConfig{
+		Movement:  RandomMovement{},
+		StartTemp: 0.001, EndTemp: 0.1, // inverted
+	}, rng.New(1)); err == nil {
+		t.Error("inverted temperature range accepted")
+	}
+}
+
+func TestTabuImproves(t *testing.T) {
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	initial := randomSolution(in, 36)
+	res, err := Tabu(eval, initial, TabuConfig{
+		Movement:          NewSwapMovement(),
+		MaxPhases:         20,
+		NeighborsPerPhase: 16,
+	}, rng.New(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMetrics.Fitness <= eval.MustEvaluate(initial).Fitness {
+		t.Errorf("tabu did not improve: %v", res.BestMetrics)
+	}
+	if err := res.Best.Validate(in); err != nil {
+		t.Errorf("best invalid: %v", err)
+	}
+}
+
+func TestTabuEscapesWorseMoves(t *testing.T) {
+	// Unlike Search, Tabu accepts the best neighbor even when worse;
+	// verify the trace actually contains a non-improving accepted phase
+	// eventually (it must keep moving on plateaus).
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	res, err := Tabu(eval, randomSolution(in, 38), TabuConfig{
+		Movement:          RandomMovement{},
+		MaxPhases:         30,
+		NeighborsPerPhase: 4,
+		RecordTrace:       true,
+	}, rng.New(39))
+	if err != nil {
+		t.Fatal(err)
+	}
+	worsened := false
+	prev := -1.0
+	for _, rec := range res.Trace {
+		if prev >= 0 && rec.Metrics.Fitness < prev {
+			worsened = true
+			break
+		}
+		prev = rec.Metrics.Fitness
+	}
+	if !worsened {
+		t.Log("tabu never accepted a worsening move in 30 phases (possible but unusual)")
+	}
+	if res.BestMetrics.Fitness < prev-1 {
+		t.Error("best-so-far lost")
+	}
+}
+
+func TestTabuValidation(t *testing.T) {
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	if _, err := Tabu(eval, randomSolution(in, 1), TabuConfig{}, rng.New(1)); err == nil {
+		t.Error("tabu without movement accepted")
+	}
+}
+
+func TestChangedRouters(t *testing.T) {
+	a := wmn.NewSolution(3)
+	b := a.Clone()
+	if got := changedRouters(a, b); len(got) != 0 {
+		t.Errorf("identical solutions changed = %v", got)
+	}
+	b.Positions[1].X = 5
+	b.Positions[2].Y = 7
+	got := changedRouters(a, b)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("changedRouters = %v, want [1 2]", got)
+	}
+}
+
+func TestIsTabu(t *testing.T) {
+	tabuUntil := []int{0, 5, 3}
+	if isTabu([]int{0}, tabuUntil, 4) {
+		t.Error("router 0 should not be tabu")
+	}
+	if !isTabu([]int{1}, tabuUntil, 4) {
+		t.Error("router 1 should be tabu until phase 5")
+	}
+	if isTabu([]int{2}, tabuUntil, 4) {
+		t.Error("router 2's tenure expired at phase 3")
+	}
+}

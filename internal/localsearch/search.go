@@ -1,0 +1,133 @@
+package localsearch
+
+import (
+	"errors"
+	"fmt"
+
+	"meshplace/internal/rng"
+	"meshplace/internal/wmn"
+)
+
+// Config drives the neighborhood search of Algorithms 1 and 2.
+type Config struct {
+	// Movement defines the neighborhood structure (Algorithm 1, step 3).
+	Movement Movement
+	// MaxPhases bounds the outer repeat loop. Default 64 (Figure 4 plots
+	// phases 1..61).
+	MaxPhases int
+	// NeighborsPerPhase is the "pre-fixed number of movements" Algorithm 2
+	// generates and examines per phase. Default 32.
+	NeighborsPerPhase int
+	// StopOnNoImprove reproduces Algorithm 1 literally: the search returns
+	// as soon as the best neighbor does not improve the current solution.
+	// When false (the default, used for Figure 4), non-improving phases
+	// keep the current solution and the search continues until MaxPhases,
+	// which lets slow movements (Random) keep trying.
+	StopOnNoImprove bool
+	// RecordTrace captures per-phase metrics for figure generation.
+	RecordTrace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPhases == 0 {
+		c.MaxPhases = 64
+	}
+	if c.NeighborsPerPhase == 0 {
+		c.NeighborsPerPhase = 32
+	}
+	return c
+}
+
+// Validate rejects unusable configs.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Movement == nil {
+		return errors.New("localsearch: config has no movement")
+	}
+	if c.MaxPhases < 1 {
+		return fmt.Errorf("localsearch: MaxPhases %d < 1", c.MaxPhases)
+	}
+	if c.NeighborsPerPhase < 1 {
+		return fmt.Errorf("localsearch: NeighborsPerPhase %d < 1", c.NeighborsPerPhase)
+	}
+	return nil
+}
+
+// PhaseRecord is one point of a search trace: the solution quality after
+// the given phase of neighborhood exploration.
+type PhaseRecord struct {
+	Phase    int         `json:"phase"`
+	Metrics  wmn.Metrics `json:"metrics"`
+	Accepted bool        `json:"accepted"`
+}
+
+// Result is the outcome of a search run.
+type Result struct {
+	// Best is the best solution found, with its metrics.
+	Best        wmn.Solution
+	BestMetrics wmn.Metrics
+	// Phases is the number of phases executed.
+	Phases int
+	// Evaluations counts fitness evaluations (neighbors examined).
+	Evaluations int
+	// Trace holds one record per phase when Config.RecordTrace is set.
+	Trace []PhaseRecord
+}
+
+// Search runs the neighborhood search of Algorithm 1 from the initial
+// solution: per phase it generates Config.NeighborsPerPhase movements,
+// evaluates each resulting neighbor (Algorithm 2), and moves to the best
+// neighbor when it improves the current fitness.
+func Search(eval *wmn.Evaluator, initial wmn.Solution, cfg Config, r *rng.Rand) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := initial.Validate(eval.Instance()); err != nil {
+		return Result{}, fmt.Errorf("localsearch: initial solution: %w", err)
+	}
+
+	cur := initial.Clone()
+	curMetrics := eval.MustEvaluate(cur)
+	res := Result{Best: cur.Clone(), BestMetrics: curMetrics}
+
+	scratch := wmn.NewSolution(len(cur.Positions))
+	bestNeighbor := wmn.NewSolution(len(cur.Positions))
+
+	for phase := 1; phase <= cfg.MaxPhases; phase++ {
+		// Algorithm 2: examine a pre-fixed number of neighbors, keep the
+		// best one.
+		found := false
+		var foundMetrics wmn.Metrics
+		for k := 0; k < cfg.NeighborsPerPhase; k++ {
+			if !cfg.Movement.Propose(eval.Instance(), cur, scratch, r) {
+				continue
+			}
+			m := eval.MustEvaluate(scratch)
+			res.Evaluations++
+			if !found || m.Fitness > foundMetrics.Fitness {
+				found = true
+				foundMetrics = m
+				copy(bestNeighbor.Positions, scratch.Positions)
+			}
+		}
+
+		improved := found && foundMetrics.Fitness > curMetrics.Fitness
+		if improved {
+			copy(cur.Positions, bestNeighbor.Positions)
+			curMetrics = foundMetrics
+			if curMetrics.Fitness > res.BestMetrics.Fitness {
+				res.Best = cur.Clone()
+				res.BestMetrics = curMetrics
+			}
+		}
+		res.Phases = phase
+		if cfg.RecordTrace {
+			res.Trace = append(res.Trace, PhaseRecord{Phase: phase, Metrics: curMetrics, Accepted: improved})
+		}
+		if cfg.StopOnNoImprove && !improved {
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,77 @@
+// Package rng centralizes pseudo-random number generation.
+//
+// Every stochastic component of the library (instance generation, placement
+// methods, neighborhood search, the genetic algorithm) draws from an
+// explicitly seeded source obtained here, so a whole experiment is
+// reproducible from a single seed. Sub-streams are derived with SplitMix64
+// so that, for example, the GA and the instance generator never share state
+// even though both descend from the experiment seed.
+package rng
+
+import (
+	"math/rand/v2"
+)
+
+// Rand is the concrete generator handed to algorithms. It is a thin alias
+// of math/rand/v2's *Rand seeded with PCG; the alias keeps call sites
+// decoupled from the standard library package so the source can be swapped
+// in one place.
+type Rand = rand.Rand
+
+// New returns a deterministic generator for the given seed.
+func New(seed uint64) *Rand {
+	return rand.New(rand.NewPCG(seed, mix(seed)))
+}
+
+// Derive returns a generator for an independent sub-stream of the given
+// seed. Distinct labels yield decorrelated streams; the same (seed, label)
+// pair always yields the same stream. Labels are small integers in
+// practice (one per algorithm stage or per repetition index).
+func Derive(seed uint64, label uint64) *Rand {
+	return New(mix(seed ^ mix(label)))
+}
+
+// DeriveString is Derive with a string label, for call sites that identify
+// sub-streams by name ("ga", "clients", ...). The label is folded with FNV-1a.
+func DeriveString(seed uint64, label string) *Rand {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return Derive(seed, h)
+}
+
+// mix is the SplitMix64 finalizer. It turns correlated seeds (0, 1, 2, ...)
+// into well-distributed PCG seeds.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Perm fills a permutation of [0,n) using r. It exists because call sites
+// frequently need permutations of router indices and rand/v2 only offers an
+// allocating Perm.
+func Perm(r *Rand, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.IntN(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes s in place using r.
+func Shuffle[T any](r *Rand, s []T) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,161 @@
+package spatial
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/rng"
+)
+
+func randomPoints(seed uint64, n int, area geom.Rect) []geom.Point {
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(
+			area.Min.X+r.Float64()*area.Width(),
+			area.Min.Y+r.Float64()*area.Height(),
+		)
+	}
+	return pts
+}
+
+func bruteWithin(pts []geom.Point, center geom.Point, radius float64) []int {
+	var out []int
+	for i, p := range pts {
+		if center.Dist2(p) <= radius*radius {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestIndexMatchesBruteForce(t *testing.T) {
+	area := geom.Area(128, 128)
+	pts := randomPoints(1, 500, area)
+	idx, err := NewIndex(area, pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(cxRaw, cyRaw uint16, rRaw uint8) bool {
+		center := geom.Pt(float64(cxRaw)/65535*128, float64(cyRaw)/65535*128)
+		radius := float64(rRaw) / 8 // up to ~32
+		got := idx.Within(center, radius)
+		want := bruteWithin(pts, center, radius)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexBoundaryInclusive(t *testing.T) {
+	area := geom.Area(10, 10)
+	pts := []geom.Point{geom.Pt(5, 5), geom.Pt(8, 5)}
+	idx, err := NewIndex(area, pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point at exactly radius distance must be included.
+	got := idx.Within(geom.Pt(5, 5), 3)
+	if len(got) != 2 {
+		t.Errorf("Within radius 3 = %v, want both points (boundary inclusive)", got)
+	}
+	got = idx.Within(geom.Pt(5, 5), 2.999)
+	if len(got) != 1 {
+		t.Errorf("Within radius 2.999 = %v, want only the center point", got)
+	}
+}
+
+func TestIndexNegativeRadius(t *testing.T) {
+	area := geom.Area(10, 10)
+	idx, err := NewIndex(area, []geom.Point{geom.Pt(1, 1)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Within(geom.Pt(1, 1), -1); got != nil {
+		t.Errorf("negative radius returned %v", got)
+	}
+}
+
+func TestIndexQueryOutsideArea(t *testing.T) {
+	area := geom.Area(10, 10)
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(9.5, 9.5)}
+	idx, err := NewIndex(area, pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query centered outside the area must still see nearby points.
+	if got := idx.CountWithin(geom.Pt(-1, -1), 3); got != 1 {
+		t.Errorf("CountWithin from outside = %d, want 1", got)
+	}
+	if got := idx.CountWithin(geom.Pt(50, 50), 5); got != 0 {
+		t.Errorf("far query = %d, want 0", got)
+	}
+}
+
+func TestIndexEmptyPoints(t *testing.T) {
+	idx, err := NewIndex(geom.Area(10, 10), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 0 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	if got := idx.Within(geom.Pt(5, 5), 100); got != nil {
+		t.Errorf("query on empty index returned %v", got)
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	if _, err := NewIndex(geom.Area(10, 10), nil, 0); err == nil {
+		t.Error("zero cell size should fail")
+	}
+	if _, err := NewIndex(geom.Rect{}, nil, 1); err == nil {
+		t.Error("empty area should fail")
+	}
+}
+
+func TestCountWithinMatchesWithin(t *testing.T) {
+	area := geom.Area(64, 64)
+	pts := randomPoints(9, 200, area)
+	idx, err := NewIndex(area, pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, radius := range []float64{0, 1, 5, 20, 100} {
+		center := geom.Pt(32, 32)
+		if got, want := idx.CountWithin(center, radius), len(idx.Within(center, radius)); got != want {
+			t.Errorf("radius %g: CountWithin=%d len(Within)=%d", radius, got, want)
+		}
+	}
+}
+
+func TestIndexVisitDeterministicOrder(t *testing.T) {
+	area := geom.Area(32, 32)
+	pts := randomPoints(4, 100, area)
+	idx, err := NewIndex(area, pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := idx.Within(geom.Pt(16, 16), 10)
+	b := idx.Within(geom.Pt(16, 16), 10)
+	if len(a) != len(b) {
+		t.Fatal("repeated queries differ in size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit order not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

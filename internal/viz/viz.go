@@ -1,0 +1,134 @@
+// Package viz renders instances and solutions as ASCII maps for terminal
+// inspection. A map rasterizes the deployment area into character cells:
+// clients show as '.', routers as 'o' ('O' when inside the giant
+// component), cells holding both as '@', and a count digit replaces the
+// glyph when several routers share one cell.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/graph"
+	"meshplace/internal/wmn"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Width is the map width in character cells; height follows from the
+	// area's aspect ratio (terminal characters are about twice as tall as
+	// wide, so vertical resolution is halved). Default 64, max 200.
+	Width int
+	// Legend appends an explanation of the glyphs. Default off.
+	Legend bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 64
+	}
+	if o.Width > 200 {
+		o.Width = 200
+	}
+	return o
+}
+
+// Map writes an ASCII map of the solution over its instance.
+func Map(w io.Writer, in *wmn.Instance, sol wmn.Solution, giantMembers []int, opts Options) error {
+	if err := in.Validate(); err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	if err := sol.Validate(in); err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	opts = opts.withDefaults()
+
+	cols := opts.Width
+	rows := int(float64(cols) * in.Height / in.Width / 2)
+	if rows < 1 {
+		rows = 1
+	}
+	grid, err := geom.NewGridDims(in.Area(), cols, rows)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+
+	clients := make([]int, grid.NumCells())
+	for _, c := range in.Clients {
+		clients[grid.CellIndex(c)]++
+	}
+	routers := make([]int, grid.NumCells())
+	for _, p := range sol.Positions {
+		routers[grid.CellIndex(p)]++
+	}
+	inGiant := make([]bool, grid.NumCells())
+	for _, i := range giantMembers {
+		if i >= 0 && i < len(sol.Positions) {
+			inGiant[grid.CellIndex(sol.Positions[i])] = true
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", cols) + "+\n")
+	// Row 0 of the grid is the bottom of the area; render top-down.
+	for row := rows - 1; row >= 0; row-- {
+		b.WriteByte('|')
+		for col := 0; col < cols; col++ {
+			b.WriteByte(glyph(clients[row*cols+col], routers[row*cols+col], inGiant[row*cols+col]))
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", cols) + "+\n")
+	if opts.Legend {
+		b.WriteString("legend: '.' clients  'o' router  'O' router in giant component  '@' router+clients  '2'-'9' several routers\n")
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// MapEvaluated is Map with the giant component computed from the evaluator.
+func MapEvaluated(w io.Writer, eval *wmn.Evaluator, sol wmn.Solution, opts Options) error {
+	g, err := routerGraph(eval, sol)
+	if err != nil {
+		return err
+	}
+	return Map(w, eval.Instance(), sol, g.GiantComponent(), opts)
+}
+
+func glyph(clients, routers int, giant bool) byte {
+	switch {
+	case routers >= 2 && routers <= 9:
+		return byte('0' + routers)
+	case routers > 9:
+		return '#'
+	case routers == 1 && clients > 0:
+		return '@'
+	case routers == 1 && giant:
+		return 'O'
+	case routers == 1:
+		return 'o'
+	case clients > 0:
+		return '.'
+	default:
+		return ' '
+	}
+}
+
+// routerGraph rebuilds the router connectivity graph through the public
+// evaluation path. The evaluator does not expose its internal graph, so the
+// map recomputes links with the same model via the deployment report.
+func routerGraph(eval *wmn.Evaluator, sol wmn.Solution) (*graph.Graph, error) {
+	rep, err := eval.BuildReport(sol)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(len(sol.Positions))
+	for _, link := range rep.Links {
+		if err := g.AddEdge(link[0], link[1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,145 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/wmn"
+)
+
+func vizFixture(t *testing.T) (*wmn.Instance, wmn.Solution) {
+	t.Helper()
+	in := &wmn.Instance{
+		Name: "viz", Width: 64, Height: 64,
+		Radii:   []float64{2, 2, 2},
+		Clients: []geom.Point{geom.Pt(5, 5), geom.Pt(60, 60)},
+	}
+	sol := wmn.Solution{Positions: []geom.Point{
+		geom.Pt(10, 10), geom.Pt(13, 10), geom.Pt(40, 40),
+	}}
+	return in, sol
+}
+
+func TestMapBasics(t *testing.T) {
+	in, sol := vizFixture(t)
+	var b strings.Builder
+	if err := Map(&b, in, sol, []int{0, 1}, Options{Width: 32, Legend: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "legend:") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "O") {
+		t.Error("giant-member glyph missing")
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("non-giant router glyph missing")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("client glyph missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// border + rows + border + legend; rows = 32 * (64/64) / 2 = 16.
+	if len(lines) != 16+3 {
+		t.Errorf("map has %d lines, want 19", len(lines))
+	}
+	for _, line := range lines[:len(lines)-1] {
+		if len(line) != 34 { // 32 cells + 2 border chars
+			t.Errorf("line width %d, want 34: %q", len(line), line)
+		}
+	}
+}
+
+func TestMapNoLegendByDefault(t *testing.T) {
+	in, sol := vizFixture(t)
+	var b strings.Builder
+	if err := Map(&b, in, sol, nil, Options{Width: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "legend") {
+		t.Error("legend rendered without being requested")
+	}
+}
+
+func TestMapMultiRouterCell(t *testing.T) {
+	in, sol := vizFixture(t)
+	// Stack all three routers into one spot.
+	for i := range sol.Positions {
+		sol.Positions[i] = geom.Pt(30, 30)
+	}
+	var b strings.Builder
+	if err := Map(&b, in, sol, nil, Options{Width: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3") {
+		t.Error("stacked routers should render as their count")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	in, sol := vizFixture(t)
+	bad := &wmn.Instance{Width: 0, Height: 1, Radii: []float64{1}}
+	var b strings.Builder
+	if err := Map(&b, bad, sol, nil, Options{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	if err := Map(&b, in, wmn.NewSolution(1), nil, Options{}); err == nil {
+		t.Error("mismatched solution accepted")
+	}
+}
+
+func TestMapEvaluatedMarksGiant(t *testing.T) {
+	in, sol := vizFixture(t)
+	eval, err := wmn.NewEvaluator(in, wmn.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := MapEvaluated(&b, eval, sol, Options{Width: 32}); err != nil {
+		t.Fatal(err)
+	}
+	// Routers 0 and 1 are linked (distance 3 ≤ 4) and form the giant.
+	if !strings.Contains(b.String(), "O") {
+		t.Error("MapEvaluated did not mark the giant component")
+	}
+}
+
+func TestGlyphPriorities(t *testing.T) {
+	tests := []struct {
+		name            string
+		clients, router int
+		giant           bool
+		want            byte
+	}{
+		{name: "empty", want: ' '},
+		{name: "clients only", clients: 2, want: '.'},
+		{name: "router only", router: 1, want: 'o'},
+		{name: "router in giant", router: 1, giant: true, want: 'O'},
+		{name: "router over clients", clients: 1, router: 1, want: '@'},
+		{name: "two routers", router: 2, want: '2'},
+		{name: "many routers", router: 12, want: '#'},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := glyph(tt.clients, tt.router, tt.giant); got != tt.want {
+				t.Errorf("glyph(%d,%d,%v) = %q, want %q", tt.clients, tt.router, tt.giant, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMapWideAreaAspect(t *testing.T) {
+	in := &wmn.Instance{Name: "wide", Width: 200, Height: 50, Radii: []float64{2}}
+	sol := wmn.Solution{Positions: []geom.Point{geom.Pt(100, 25)}}
+	var b strings.Builder
+	if err := Map(&b, in, sol, nil, Options{Width: 80}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// rows = 80 * (50/200) / 2 = 10, plus two borders.
+	if len(lines) != 12 {
+		t.Errorf("wide map has %d lines, want 12", len(lines))
+	}
+}

@@ -1,0 +1,128 @@
+package wmn
+
+import (
+	"fmt"
+	"sort"
+
+	"meshplace/internal/geom"
+)
+
+// DensityGrid partitions the deployment area into cells and counts clients
+// and routers per cell. The HotSpot placement method ranks cells by client
+// density (§3), and the swap movement of the neighborhood search locates
+// its "most dense" and "most sparse" Hg×Wg areas on it (Algorithm 3).
+//
+// Client counts are fixed per instance; router counts are recomputed from a
+// solution with CountRouters.
+type DensityGrid struct {
+	grid    geom.Grid
+	clients []int
+	routers []int
+}
+
+// NewDensityGrid builds a grid of cellW×cellH cells over the instance area
+// and counts the instance's clients into it.
+func NewDensityGrid(in *Instance, cellW, cellH float64) (*DensityGrid, error) {
+	grid, err := geom.NewGrid(in.Area(), cellW, cellH)
+	if err != nil {
+		return nil, fmt.Errorf("wmn: density grid: %w", err)
+	}
+	d := &DensityGrid{
+		grid:    grid,
+		clients: make([]int, grid.NumCells()),
+		routers: make([]int, grid.NumCells()),
+	}
+	for _, c := range in.Clients {
+		d.clients[grid.CellIndex(c)]++
+	}
+	return d, nil
+}
+
+// Grid exposes the underlying cell geometry.
+func (d *DensityGrid) Grid() geom.Grid { return d.grid }
+
+// NumCells returns the number of cells.
+func (d *DensityGrid) NumCells() int { return d.grid.NumCells() }
+
+// ClientCount returns the number of clients in the cell.
+func (d *DensityGrid) ClientCount(cell int) int { return d.clients[cell] }
+
+// RouterCount returns the number of routers counted into the cell by the
+// last CountRouters call.
+func (d *DensityGrid) RouterCount(cell int) int { return d.routers[cell] }
+
+// CountRouters recounts the solution's router positions into the grid,
+// replacing any previous router counts.
+func (d *DensityGrid) CountRouters(sol Solution) {
+	for i := range d.routers {
+		d.routers[i] = 0
+	}
+	for _, p := range sol.Positions {
+		d.routers[d.grid.CellIndex(p)]++
+	}
+}
+
+// Score returns the weighted density of a cell. HotSpot uses pure client
+// weight; the swap movement mixes clients and routers so that "dense"
+// reflects both demand and current supply.
+func (d *DensityGrid) Score(cell int, clientWeight, routerWeight float64) float64 {
+	return clientWeight*float64(d.clients[cell]) + routerWeight*float64(d.routers[cell])
+}
+
+// RankCells returns all cell indices ordered by descending score. Ties
+// break toward the lower cell index, keeping the ranking deterministic.
+func (d *DensityGrid) RankCells(clientWeight, routerWeight float64) []int {
+	order := make([]int, d.NumCells())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa := d.Score(order[a], clientWeight, routerWeight)
+		sb := d.Score(order[b], clientWeight, routerWeight)
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// DensestCells returns up to k cell indices with the highest score.
+func (d *DensityGrid) DensestCells(k int, clientWeight, routerWeight float64) []int {
+	ranked := d.RankCells(clientWeight, routerWeight)
+	if k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// SparsestCells returns up to k cell indices with the lowest score among
+// cells that satisfy the filter (pass nil to accept all cells). The swap
+// movement uses the filter to restrict "sparse" to cells that still hold a
+// router to take away.
+func (d *DensityGrid) SparsestCells(k int, clientWeight, routerWeight float64, filter func(cell int) bool) []int {
+	ranked := d.RankCells(clientWeight, routerWeight)
+	out := make([]int, 0, k)
+	for i := len(ranked) - 1; i >= 0 && len(out) < k; i-- {
+		cell := ranked[i]
+		if filter == nil || filter(cell) {
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// RoutersIn returns the indices of the solution's routers inside the cell,
+// ascending.
+func (d *DensityGrid) RoutersIn(sol Solution, cell int) []int {
+	var out []int
+	for i, p := range sol.Positions {
+		if d.grid.CellIndex(p) == cell {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CellRect returns the rectangle of the given cell.
+func (d *DensityGrid) CellRect(cell int) geom.Rect { return d.grid.Cell(cell) }

@@ -1,0 +1,170 @@
+package wmn
+
+import (
+	"testing"
+
+	"meshplace/internal/geom"
+)
+
+// densityInstance: 64×64 area, clients concentrated in the top-left 16×16
+// cell region.
+func densityInstance() *Instance {
+	return &Instance{
+		Name: "density", Width: 64, Height: 64,
+		Radii: []float64{1, 2, 3},
+		Clients: []geom.Point{
+			geom.Pt(2, 2), geom.Pt(3, 3), geom.Pt(5, 5), // cell (0,0)
+			geom.Pt(40, 40), // one stray client
+		},
+	}
+}
+
+func TestDensityGridClientCounts(t *testing.T) {
+	in := densityInstance()
+	d, err := NewDensityGrid(in, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCells() != 16 {
+		t.Fatalf("cells = %d, want 16", d.NumCells())
+	}
+	cell00 := d.Grid().CellIndex(geom.Pt(2, 2))
+	if d.ClientCount(cell00) != 3 {
+		t.Errorf("corner cell clients = %d, want 3", d.ClientCount(cell00))
+	}
+	stray := d.Grid().CellIndex(geom.Pt(40, 40))
+	if d.ClientCount(stray) != 1 {
+		t.Errorf("stray cell clients = %d, want 1", d.ClientCount(stray))
+	}
+	total := 0
+	for c := 0; c < d.NumCells(); c++ {
+		total += d.ClientCount(c)
+	}
+	if total != in.NumClients() {
+		t.Errorf("client counts sum to %d, want %d", total, in.NumClients())
+	}
+}
+
+func TestDensityGridCountRouters(t *testing.T) {
+	in := densityInstance()
+	d, err := NewDensityGrid(in, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := Solution{Positions: []geom.Point{geom.Pt(1, 1), geom.Pt(2, 1), geom.Pt(50, 50)}}
+	d.CountRouters(sol)
+	cell00 := d.Grid().CellIndex(geom.Pt(1, 1))
+	if d.RouterCount(cell00) != 2 {
+		t.Errorf("corner cell routers = %d, want 2", d.RouterCount(cell00))
+	}
+	// Recounting a different solution replaces, not accumulates.
+	d.CountRouters(Solution{Positions: []geom.Point{geom.Pt(50, 50), geom.Pt(50, 51), geom.Pt(50, 52)}})
+	if d.RouterCount(cell00) != 0 {
+		t.Errorf("counts not reset: corner cell routers = %d", d.RouterCount(cell00))
+	}
+}
+
+func TestDensityRanking(t *testing.T) {
+	in := densityInstance()
+	d, err := NewDensityGrid(in, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := d.RankCells(1, 0)
+	if len(ranked) != 16 {
+		t.Fatalf("ranked %d cells", len(ranked))
+	}
+	if d.ClientCount(ranked[0]) != 3 {
+		t.Errorf("top-ranked cell has %d clients, want 3", d.ClientCount(ranked[0]))
+	}
+	// Scores must be non-increasing down the ranking.
+	for i := 1; i < len(ranked); i++ {
+		if d.Score(ranked[i], 1, 0) > d.Score(ranked[i-1], 1, 0) {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+}
+
+func TestDensityRankingDeterministicTies(t *testing.T) {
+	in := densityInstance()
+	d, err := NewDensityGrid(in, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.RankCells(1, 0.25)
+	b := d.RankCells(1, 0.25)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ranking unstable at %d", i)
+		}
+	}
+}
+
+func TestDensestAndSparsestCells(t *testing.T) {
+	in := densityInstance()
+	d, err := NewDensityGrid(in, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := d.DensestCells(2, 1, 0)
+	if len(dense) != 2 {
+		t.Fatalf("DensestCells(2) returned %d cells", len(dense))
+	}
+	if d.ClientCount(dense[0]) < d.ClientCount(dense[1]) {
+		t.Error("densest cells out of order")
+	}
+	sparse := d.SparsestCells(3, 1, 0, nil)
+	if len(sparse) != 3 {
+		t.Fatalf("SparsestCells(3) returned %d cells", len(sparse))
+	}
+	for _, c := range sparse {
+		if d.ClientCount(c) != 0 {
+			t.Errorf("sparse cell %d has %d clients", c, d.ClientCount(c))
+		}
+	}
+}
+
+func TestSparsestCellsFilter(t *testing.T) {
+	in := densityInstance()
+	d, err := NewDensityGrid(in, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := Solution{Positions: []geom.Point{geom.Pt(60, 60), geom.Pt(60, 61), geom.Pt(1, 1)}}
+	d.CountRouters(sol)
+	withRouters := d.SparsestCells(5, 1, 0, func(cell int) bool {
+		return d.RouterCount(cell) > 0
+	})
+	if len(withRouters) != 2 {
+		t.Fatalf("filtered sparse cells = %d, want 2 (two occupied cells)", len(withRouters))
+	}
+	for _, c := range withRouters {
+		if d.RouterCount(c) == 0 {
+			t.Errorf("filter violated for cell %d", c)
+		}
+	}
+}
+
+func TestRoutersIn(t *testing.T) {
+	in := densityInstance()
+	d, err := NewDensityGrid(in, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := Solution{Positions: []geom.Point{geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(60, 60)}}
+	cell := d.Grid().CellIndex(geom.Pt(1, 1))
+	got := d.RoutersIn(sol, cell)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("RoutersIn = %v, want [0 1]", got)
+	}
+}
+
+func TestDensityGridRejectsBadCells(t *testing.T) {
+	in := densityInstance()
+	if _, err := NewDensityGrid(in, 0, 16); err == nil {
+		t.Error("zero cell width accepted")
+	}
+	if _, err := NewDensityGrid(in, -2, -2); err == nil {
+		t.Error("negative cell size accepted")
+	}
+}

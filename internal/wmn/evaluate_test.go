@@ -1,0 +1,266 @@
+package wmn
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/rng"
+)
+
+// chainInstance builds n routers of fixed radius in a 100×100 area with no
+// clients.
+func chainInstance(n int, radius float64) *Instance {
+	radii := make([]float64, n)
+	for i := range radii {
+		radii[i] = radius
+	}
+	return &Instance{Name: "chain", Width: 100, Height: 100, Radii: radii}
+}
+
+func mustEval(t *testing.T, in *Instance, opts EvalOptions) *Evaluator {
+	t.Helper()
+	e, err := NewEvaluator(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEvaluateChainTopology(t *testing.T) {
+	// Radius 2, overlap rule: link iff distance ≤ 4. Routers at x = 0, 4,
+	// 8 form one chain; a router at x = 50 is isolated.
+	in := chainInstance(4, 2)
+	eval := mustEval(t, in, EvalOptions{})
+	sol := Solution{Positions: []geom.Point{
+		geom.Pt(1, 50), geom.Pt(5, 50), geom.Pt(9, 50), geom.Pt(50, 50),
+	}}
+	m := eval.MustEvaluate(sol)
+	if m.GiantSize != 3 {
+		t.Errorf("giant = %d, want 3", m.GiantSize)
+	}
+	if m.Links != 2 {
+		t.Errorf("links = %d, want 2", m.Links)
+	}
+	if m.Components != 2 {
+		t.Errorf("components = %d, want 2", m.Components)
+	}
+}
+
+func TestEvaluateLinkBoundaryInclusive(t *testing.T) {
+	in := chainInstance(2, 2)
+	eval := mustEval(t, in, EvalOptions{})
+	exactly := Solution{Positions: []geom.Point{geom.Pt(10, 10), geom.Pt(14, 10)}}
+	if m := eval.MustEvaluate(exactly); m.GiantSize != 2 {
+		t.Errorf("distance exactly r_i+r_j should link: giant = %d", m.GiantSize)
+	}
+	apart := Solution{Positions: []geom.Point{geom.Pt(10, 10), geom.Pt(14.001, 10)}}
+	if m := eval.MustEvaluate(apart); m.GiantSize != 1 {
+		t.Errorf("distance above r_i+r_j should not link: giant = %d", m.GiantSize)
+	}
+}
+
+func TestLinkModelUnitDiskStricter(t *testing.T) {
+	in := &Instance{Name: "mixed", Width: 100, Height: 100, Radii: []float64{1, 5}}
+	sol := Solution{Positions: []geom.Point{geom.Pt(10, 10), geom.Pt(14, 10)}}
+	overlap := mustEval(t, in, EvalOptions{Link: LinkCoverageOverlap})
+	if m := overlap.MustEvaluate(sol); m.GiantSize != 2 {
+		t.Errorf("overlap rule: giant = %d, want 2 (1+5 ≥ 4)", m.GiantSize)
+	}
+	unit := mustEval(t, in, EvalOptions{Link: LinkUnitDisk})
+	if m := unit.MustEvaluate(sol); m.GiantSize != 1 {
+		t.Errorf("unit-disk rule: giant = %d, want 1 (min(1,5) < 4)", m.GiantSize)
+	}
+}
+
+func TestCoverageCounting(t *testing.T) {
+	in := &Instance{
+		Name: "cov", Width: 100, Height: 100,
+		Radii: []float64{3, 3},
+		Clients: []geom.Point{
+			geom.Pt(10, 10), // inside router 0
+			geom.Pt(12, 10), // inside router 0 (distance 2)
+			geom.Pt(50, 50), // inside router 1
+			geom.Pt(90, 90), // uncovered
+			geom.Pt(13, 10), // exactly on router 0 boundary (distance 3)
+		},
+	}
+	eval := mustEval(t, in, EvalOptions{})
+	sol := Solution{Positions: []geom.Point{geom.Pt(10, 10), geom.Pt(50, 50)}}
+	m := eval.MustEvaluate(sol)
+	if m.Covered != 4 {
+		t.Errorf("covered = %d, want 4 (boundary inclusive)", m.Covered)
+	}
+}
+
+func TestCoverageClientUnderTwoRoutersCountsOnce(t *testing.T) {
+	in := &Instance{
+		Name: "dedup", Width: 100, Height: 100,
+		Radii:   []float64{5, 5},
+		Clients: []geom.Point{geom.Pt(10, 10)},
+	}
+	eval := mustEval(t, in, EvalOptions{})
+	sol := Solution{Positions: []geom.Point{geom.Pt(9, 10), geom.Pt(11, 10)}}
+	if m := eval.MustEvaluate(sol); m.Covered != 1 {
+		t.Errorf("covered = %d, want 1", m.Covered)
+	}
+}
+
+func TestCoverGiantOnly(t *testing.T) {
+	// Router pair {0,1} forms the giant; router 2 is isolated and covers
+	// the second client.
+	in := &Instance{
+		Name: "giantcov", Width: 100, Height: 100,
+		Radii:   []float64{2, 2, 2},
+		Clients: []geom.Point{geom.Pt(10, 10), geom.Pt(80, 80)},
+	}
+	sol := Solution{Positions: []geom.Point{geom.Pt(10, 10), geom.Pt(13, 10), geom.Pt(80, 80)}}
+	any := mustEval(t, in, EvalOptions{Coverage: CoverAnyRouter})
+	if m := any.MustEvaluate(sol); m.Covered != 2 {
+		t.Errorf("any-router covered = %d, want 2", m.Covered)
+	}
+	giant := mustEval(t, in, EvalOptions{Coverage: CoverGiantOnly})
+	if m := giant.MustEvaluate(sol); m.Covered != 1 {
+		t.Errorf("giant-only covered = %d, want 1", m.Covered)
+	}
+}
+
+func TestFitnessWeights(t *testing.T) {
+	in := &Instance{
+		Name: "fit", Width: 100, Height: 100,
+		Radii:   []float64{2, 2},
+		Clients: []geom.Point{geom.Pt(10, 10), geom.Pt(90, 90)},
+	}
+	eval := mustEval(t, in, EvalOptions{Weights: Weights{Connectivity: 0.7, Coverage: 0.3}})
+	// Both routers linked (giant 2/2), one client covered (1/2).
+	sol := Solution{Positions: []geom.Point{geom.Pt(10, 10), geom.Pt(12, 10)}}
+	m := eval.MustEvaluate(sol)
+	want := 0.7*1.0 + 0.3*0.5
+	if math.Abs(m.Fitness-want) > 1e-12 {
+		t.Errorf("fitness = %g, want %g", m.Fitness, want)
+	}
+}
+
+func TestFitnessNoClients(t *testing.T) {
+	in := chainInstance(2, 2)
+	eval := mustEval(t, in, EvalOptions{})
+	sol := Solution{Positions: []geom.Point{geom.Pt(1, 1), geom.Pt(2, 1)}}
+	m := eval.MustEvaluate(sol)
+	want := 0.7 // full connectivity, no coverage term
+	if math.Abs(m.Fitness-want) > 1e-12 {
+		t.Errorf("fitness = %g, want %g", m.Fitness, want)
+	}
+}
+
+func TestBetterLex(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Metrics
+		want bool
+	}{
+		{name: "bigger giant wins", a: Metrics{GiantSize: 5}, b: Metrics{GiantSize: 4, Covered: 100}, want: true},
+		{name: "smaller giant loses", a: Metrics{GiantSize: 3, Covered: 100}, b: Metrics{GiantSize: 4}, want: false},
+		{name: "tie broken by coverage", a: Metrics{GiantSize: 4, Covered: 10}, b: Metrics{GiantSize: 4, Covered: 9}, want: true},
+		{name: "full tie", a: Metrics{GiantSize: 4, Covered: 10}, b: Metrics{GiantSize: 4, Covered: 10}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := BetterLex(tt.a, tt.b); got != tt.want {
+				t.Errorf("BetterLex = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateRejectsWrongLength(t *testing.T) {
+	in := chainInstance(3, 2)
+	eval := mustEval(t, in, EvalOptions{})
+	if _, err := eval.Evaluate(NewSolution(2)); err == nil {
+		t.Error("wrong-length solution accepted")
+	}
+}
+
+func TestNewEvaluatorRejectsInvalidInstance(t *testing.T) {
+	if _, err := NewEvaluator(&Instance{Width: 0, Height: 1, Radii: []float64{1}}, EvalOptions{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+// TestIndexedMatchesBruteForce is the core cross-check: the spatial-index
+// evaluation path must agree exactly with the O(N²) path on random
+// instances and solutions.
+func TestIndexedMatchesBruteForce(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumRouters = 150 // above smallN so the index path is exercised
+	in, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := mustEval(t, in, EvalOptions{})
+	slow := mustEval(t, in, EvalOptions{BruteForce: true})
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		sol := NewSolution(in.NumRouters())
+		for i := range sol.Positions {
+			sol.Positions[i] = geom.Pt(r.Float64()*in.Width, r.Float64()*in.Height)
+		}
+		a := fast.MustEvaluate(sol)
+		b := slow.MustEvaluate(sol)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGiantBounds checks 1 ≤ giant ≤ N on arbitrary solutions.
+func TestGiantBoundsProperty(t *testing.T) {
+	in, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := mustEval(t, in, EvalOptions{})
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		sol := NewSolution(in.NumRouters())
+		for i := range sol.Positions {
+			sol.Positions[i] = geom.Pt(r.Float64()*in.Width, r.Float64()*in.Height)
+		}
+		m := eval.MustEvaluate(sol)
+		return m.GiantSize >= 1 && m.GiantSize <= in.NumRouters() &&
+			m.Covered >= 0 && m.Covered <= in.NumClients() &&
+			m.Fitness >= 0 && m.Fitness <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllRoutersStackedFullyConnected: co-located routers are one giant.
+func TestAllRoutersStackedFullyConnected(t *testing.T) {
+	in := chainInstance(10, 2)
+	eval := mustEval(t, in, EvalOptions{})
+	sol := NewSolution(10)
+	for i := range sol.Positions {
+		sol.Positions[i] = geom.Pt(50, 50)
+	}
+	m := eval.MustEvaluate(sol)
+	if m.GiantSize != 10 || m.Components != 1 {
+		t.Errorf("stacked routers: giant=%d components=%d", m.GiantSize, m.Components)
+	}
+	if m.Links != 45 { // C(10,2)
+		t.Errorf("links = %d, want 45", m.Links)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{GiantSize: 5, Covered: 7, Links: 4, Components: 2, Fitness: 0.5}
+	s := m.String()
+	for _, want := range []string{"giant=5", "covered=7", "links=4", "components=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Metrics.String() = %q missing %q", s, want)
+		}
+	}
+}

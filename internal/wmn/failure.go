@@ -1,0 +1,121 @@
+package wmn
+
+import (
+	"fmt"
+	"sort"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/rng"
+)
+
+// The paper motivates WMNs by their "reliability, robustness and
+// self-configuring properties achieved through multiple redundant
+// communications paths" (§1). FailureSweep quantifies exactly that for a
+// placement: how much of the network survives when routers fail.
+
+// FailureResult summarizes a router-failure sweep.
+type FailureResult struct {
+	// Failures is the number of routers removed per trial.
+	Failures int `json:"failures"`
+	// Trials is the number of random failure sets evaluated.
+	Trials int `json:"trials"`
+	// BaseGiant and BaseCovered are the intact network's metrics.
+	BaseGiant   int `json:"baseGiant"`
+	BaseCovered int `json:"baseCovered"`
+	// MinGiant, MedianGiant and MeanGiant summarize the surviving giant
+	// component across trials; likewise for coverage.
+	MinGiant      int     `json:"minGiant"`
+	MedianGiant   int     `json:"medianGiant"`
+	MeanGiant     float64 `json:"meanGiant"`
+	MinCovered    int     `json:"minCovered"`
+	MedianCovered int     `json:"medianCovered"`
+	MeanCovered   float64 `json:"meanCovered"`
+}
+
+// String renders a one-line summary.
+func (f FailureResult) String() string {
+	return fmt.Sprintf("%d failures over %d trials: giant %d -> median %d (min %d), covered %d -> median %d (min %d)",
+		f.Failures, f.Trials, f.BaseGiant, f.MedianGiant, f.MinGiant,
+		f.BaseCovered, f.MedianCovered, f.MinCovered)
+}
+
+// FailureSweep removes `failures` uniformly chosen routers from the
+// solution, re-evaluates the surviving network, and repeats for `trials`
+// random failure sets. Removed routers are modeled by relocating them to a
+// fresh instance without those routers, so the survivors' connectivity and
+// coverage are measured exactly.
+func FailureSweep(e *Evaluator, sol Solution, failures, trials int, r *rng.Rand) (FailureResult, error) {
+	in := e.Instance()
+	n := in.NumRouters()
+	if err := sol.Validate(in); err != nil {
+		return FailureResult{}, fmt.Errorf("wmn: failure sweep: %w", err)
+	}
+	if failures < 0 || failures >= n {
+		return FailureResult{}, fmt.Errorf("wmn: failure sweep: %d failures outside [0,%d)", failures, n)
+	}
+	if trials < 1 {
+		return FailureResult{}, fmt.Errorf("wmn: failure sweep: %d trials < 1", trials)
+	}
+
+	base, err := e.Evaluate(sol)
+	if err != nil {
+		return FailureResult{}, err
+	}
+	res := FailureResult{
+		Failures:    failures,
+		Trials:      trials,
+		BaseGiant:   base.GiantSize,
+		BaseCovered: base.Covered,
+	}
+
+	giants := make([]int, 0, trials)
+	covereds := make([]int, 0, trials)
+	for t := 0; t < trials; t++ {
+		perm := rng.Perm(r, n)
+		dead := make(map[int]bool, failures)
+		for _, i := range perm[:failures] {
+			dead[i] = true
+		}
+		survivorRadii := make([]float64, 0, n-failures)
+		positions := make([]geom.Point, 0, n-failures)
+		for i := 0; i < n; i++ {
+			if dead[i] {
+				continue
+			}
+			survivorRadii = append(survivorRadii, in.Radii[i])
+			positions = append(positions, sol.Positions[i])
+		}
+		sub := &Instance{
+			Name:    in.Name + "-failed",
+			Width:   in.Width,
+			Height:  in.Height,
+			Radii:   survivorRadii,
+			Clients: in.Clients,
+		}
+		subEval, err := NewEvaluator(sub, e.opts)
+		if err != nil {
+			return FailureResult{}, err
+		}
+		m, err := subEval.Evaluate(Solution{Positions: positions})
+		if err != nil {
+			return FailureResult{}, err
+		}
+		giants = append(giants, m.GiantSize)
+		covereds = append(covereds, m.Covered)
+	}
+
+	res.MinGiant, res.MedianGiant, res.MeanGiant = summarize(giants)
+	res.MinCovered, res.MedianCovered, res.MeanCovered = summarize(covereds)
+	return res, nil
+}
+
+func summarize(vals []int) (min, median int, mean float64) {
+	sorted := make([]int, len(vals))
+	copy(sorted, vals)
+	sort.Ints(sorted)
+	total := 0
+	for _, v := range sorted {
+		total += v
+	}
+	return sorted[0], sorted[(len(sorted)-1)/2], float64(total) / float64(len(sorted))
+}

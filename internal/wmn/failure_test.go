@@ -1,0 +1,123 @@
+package wmn
+
+import (
+	"testing"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/rng"
+)
+
+func failureFixture(t *testing.T) (*Evaluator, Solution) {
+	t.Helper()
+	// A chain of 8 routers: removing any interior router splits it.
+	in := chainInstance(8, 2)
+	eval := mustEval(t, in, EvalOptions{})
+	sol := NewSolution(8)
+	for i := range sol.Positions {
+		sol.Positions[i] = geom.Pt(10+float64(i)*4, 50)
+	}
+	return eval, sol
+}
+
+func TestFailureSweepZeroFailures(t *testing.T) {
+	eval, sol := failureFixture(t)
+	res, err := FailureSweep(eval, sol, 0, 4, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseGiant != 8 {
+		t.Fatalf("base giant = %d, want 8 (full chain)", res.BaseGiant)
+	}
+	if res.MinGiant != 8 || res.MedianGiant != 8 || res.MeanGiant != 8 {
+		t.Errorf("zero failures changed the giant: %+v", res)
+	}
+}
+
+func TestFailureSweepDegradesChain(t *testing.T) {
+	eval, sol := failureFixture(t)
+	res, err := FailureSweep(eval, sol, 2, 32, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing 2 of 8 chain routers leaves at most 6 connected, and the
+	// surviving giant can never exceed the survivor count.
+	if res.MinGiant < 1 || res.MedianGiant > 6 {
+		t.Errorf("giant stats out of range: %+v", res)
+	}
+	if res.MeanGiant >= float64(res.BaseGiant) {
+		t.Errorf("mean giant %g did not degrade from %d", res.MeanGiant, res.BaseGiant)
+	}
+}
+
+func TestFailureSweepBounds(t *testing.T) {
+	eval, sol := failureFixture(t)
+	res, err := FailureSweep(eval, sol, 3, 16, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinGiant > res.MedianGiant || float64(res.MedianGiant) > res.MeanGiant+3 {
+		t.Errorf("summary ordering broken: %+v", res)
+	}
+	if res.Failures != 3 || res.Trials != 16 {
+		t.Errorf("echo fields wrong: %+v", res)
+	}
+	if res.MinCovered > res.MedianCovered {
+		t.Errorf("coverage summary broken: %+v", res)
+	}
+}
+
+func TestFailureSweepValidation(t *testing.T) {
+	eval, sol := failureFixture(t)
+	if _, err := FailureSweep(eval, sol, -1, 4, rng.New(1)); err == nil {
+		t.Error("negative failures accepted")
+	}
+	if _, err := FailureSweep(eval, sol, 8, 4, rng.New(1)); err == nil {
+		t.Error("removing the whole fleet accepted")
+	}
+	if _, err := FailureSweep(eval, sol, 1, 0, rng.New(1)); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := FailureSweep(eval, NewSolution(2), 1, 4, rng.New(1)); err == nil {
+		t.Error("mismatched solution accepted")
+	}
+}
+
+func TestFailureSweepDeterministic(t *testing.T) {
+	eval, sol := failureFixture(t)
+	a, err := FailureSweep(eval, sol, 2, 8, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FailureSweep(eval, sol, 2, 8, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFailureSweepCoverageAccounting(t *testing.T) {
+	// One router covers the single client; failing the other router never
+	// uncovers it, failing that one always does.
+	in := &Instance{
+		Name: "cov", Width: 50, Height: 50,
+		Radii:   []float64{3, 3},
+		Clients: []geom.Point{geom.Pt(10, 10)},
+	}
+	eval := mustEval(t, in, EvalOptions{})
+	sol := Solution{Positions: []geom.Point{geom.Pt(10, 10), geom.Pt(40, 40)}}
+	res, err := FailureSweep(eval, sol, 1, 64, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseCovered != 1 {
+		t.Fatalf("base covered = %d", res.BaseCovered)
+	}
+	if res.MinCovered != 0 {
+		t.Errorf("min covered = %d, want 0 (covering router can fail)", res.MinCovered)
+	}
+	if res.MeanCovered <= 0 || res.MeanCovered >= 1 {
+		t.Errorf("mean covered = %g, want strictly between 0 and 1", res.MeanCovered)
+	}
+}

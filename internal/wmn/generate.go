@@ -1,0 +1,93 @@
+package wmn
+
+import (
+	"fmt"
+
+	"meshplace/internal/dist"
+	"meshplace/internal/rng"
+)
+
+// GenConfig describes an instance to generate. The zero value is not
+// usable; start from DefaultGenConfig and override.
+type GenConfig struct {
+	Name       string
+	Width      float64
+	Height     float64
+	NumRouters int
+	// RadiusMin and RadiusMax bound the per-router coverage radius; each
+	// radius is drawn uniformly from [RadiusMin, RadiusMax]. This models
+	// the paper's "coverage area oscillating between minimum and maximum
+	// values".
+	RadiusMin  float64
+	RadiusMax  float64
+	NumClients int
+	ClientDist dist.Spec
+	Seed       uint64
+}
+
+// DefaultGenConfig returns the paper's benchmark instance shape: a 128×128
+// grid area, 64 routers, 192 clients (§5.2.1), with radii calibrated so the
+// ad hoc stand-alone giants land in the paper's reported range.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Name:       "base-128x128",
+		Width:      128,
+		Height:     128,
+		NumRouters: 64,
+		RadiusMin:  2,
+		RadiusMax:  4.5,
+		NumClients: 192,
+		ClientDist: dist.NormalSpec(64, 64, 12.8),
+		Seed:       1,
+	}
+}
+
+// Validate checks the generation parameters.
+func (c GenConfig) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("wmn: non-positive area %gx%g", c.Width, c.Height)
+	}
+	if c.NumRouters <= 0 {
+		return fmt.Errorf("wmn: need at least one router, got %d", c.NumRouters)
+	}
+	if c.NumClients < 0 {
+		return fmt.Errorf("wmn: negative client count %d", c.NumClients)
+	}
+	if c.RadiusMin <= 0 || c.RadiusMax < c.RadiusMin {
+		return fmt.Errorf("wmn: invalid radius range [%g,%g]", c.RadiusMin, c.RadiusMax)
+	}
+	return nil
+}
+
+// Generate builds a reproducible instance from the config. Router radii and
+// client positions are drawn from independent sub-streams of the seed, so
+// changing the client distribution does not perturb the radii.
+func Generate(cfg GenConfig) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Instance{
+		Name:       cfg.Name,
+		Width:      cfg.Width,
+		Height:     cfg.Height,
+		Radii:      make([]float64, cfg.NumRouters),
+		ClientDist: cfg.ClientDist,
+		Seed:       cfg.Seed,
+	}
+
+	radiiRand := rng.DeriveString(cfg.Seed, "wmn/radii")
+	for i := range in.Radii {
+		in.Radii[i] = cfg.RadiusMin + radiiRand.Float64()*(cfg.RadiusMax-cfg.RadiusMin)
+	}
+
+	sampler, err := cfg.ClientDist.Build(in.Area())
+	if err != nil {
+		return nil, fmt.Errorf("wmn: client distribution: %w", err)
+	}
+	in.Clients = dist.Points(sampler, rng.DeriveString(cfg.Seed, "wmn/clients"), cfg.NumClients)
+
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

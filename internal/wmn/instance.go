@@ -1,0 +1,183 @@
+// Package wmn defines the core Wireless Mesh Network model of the paper's
+// problem (§2): a rectangular deployment area, N mesh routers each with its
+// own radio coverage radius, and M mesh clients at fixed positions. On top
+// of the model it provides topology construction, the two objectives
+// (giant-component size and client coverage), a combined fitness, and the
+// client/router density grids shared by the HotSpot placement method and
+// the swap movement of the neighborhood search.
+package wmn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"meshplace/internal/dist"
+	"meshplace/internal/geom"
+)
+
+// Instance is one problem instance: the deployment area, the router fleet
+// (identified by their radii; positions are the decision variables) and the
+// fixed client positions. Instances are immutable once built; all search
+// state lives in Solution values.
+type Instance struct {
+	// Name labels the instance in experiment output.
+	Name string `json:"name"`
+	// Width and Height define the deployment area [0,Width)×[0,Height).
+	Width  float64 `json:"width"`
+	Height float64 `json:"height"`
+	// Radii holds one radio coverage radius per router. The router count
+	// of the instance is len(Radii).
+	Radii []float64 `json:"radii"`
+	// Clients holds the fixed client positions inside the area.
+	Clients []geom.Point `json:"clients"`
+	// ClientDist records which distribution generated Clients. It is
+	// provenance only; evaluation never reads it.
+	ClientDist dist.Spec `json:"clientDist,omitempty"`
+	// Seed records the generator seed for provenance.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// NumRouters returns the number of mesh routers to place.
+func (in *Instance) NumRouters() int { return len(in.Radii) }
+
+// NumClients returns the number of fixed mesh clients.
+func (in *Instance) NumClients() int { return len(in.Clients) }
+
+// Area returns the deployment rectangle [0,Width)×[0,Height).
+func (in *Instance) Area() geom.Rect { return geom.Area(in.Width, in.Height) }
+
+// MaxRadius returns the largest router radius, or 0 with no routers.
+func (in *Instance) MaxRadius() float64 {
+	max := 0.0
+	for _, r := range in.Radii {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// MinRadius returns the smallest router radius, or 0 with no routers.
+func (in *Instance) MinRadius() float64 {
+	if len(in.Radii) == 0 {
+		return 0
+	}
+	min := in.Radii[0]
+	for _, r := range in.Radii[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// Validate checks the structural invariants of the instance.
+func (in *Instance) Validate() error {
+	if in.Width <= 0 || in.Height <= 0 {
+		return fmt.Errorf("wmn: instance %q has non-positive area %gx%g", in.Name, in.Width, in.Height)
+	}
+	if len(in.Radii) == 0 {
+		return fmt.Errorf("wmn: instance %q has no routers", in.Name)
+	}
+	for i, r := range in.Radii {
+		if r <= 0 {
+			return fmt.Errorf("wmn: instance %q router %d has non-positive radius %g", in.Name, i, r)
+		}
+	}
+	area := in.Area()
+	for i, c := range in.Clients {
+		if !area.Contains(c) {
+			return fmt.Errorf("wmn: instance %q client %d at %v outside area %v", in.Name, i, c, area)
+		}
+	}
+	return nil
+}
+
+// String summarizes the instance for logs.
+func (in *Instance) String() string {
+	return fmt.Sprintf("%s: %gx%g area, %d routers (r in [%.2f,%.2f]), %d clients (%s)",
+		in.Name, in.Width, in.Height, in.NumRouters(), in.MinRadius(), in.MaxRadius(),
+		in.NumClients(), in.ClientDist)
+}
+
+// WriteJSON serializes the instance.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(in); err != nil {
+		return fmt.Errorf("wmn: encode instance: %w", err)
+	}
+	return nil
+}
+
+// ReadInstance deserializes an instance and validates it.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var in Instance
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("wmn: decode instance: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+// Solution assigns a position to every router of an instance. Positions[i]
+// places the router with radius Radii[i].
+type Solution struct {
+	Positions []geom.Point `json:"positions"`
+}
+
+// NewSolution returns an all-zero solution for n routers.
+func NewSolution(n int) Solution {
+	return Solution{Positions: make([]geom.Point, n)}
+}
+
+// Clone returns a deep copy of s.
+func (s Solution) Clone() Solution {
+	out := Solution{Positions: make([]geom.Point, len(s.Positions))}
+	copy(out.Positions, s.Positions)
+	return out
+}
+
+// WriteJSON serializes the solution.
+func (s Solution) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("wmn: encode solution: %w", err)
+	}
+	return nil
+}
+
+// ReadSolution deserializes a solution and validates it against the
+// instance it is meant for.
+func ReadSolution(r io.Reader, in *Instance) (Solution, error) {
+	var s Solution
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Solution{}, fmt.Errorf("wmn: decode solution: %w", err)
+	}
+	if err := s.Validate(in); err != nil {
+		return Solution{}, err
+	}
+	return s, nil
+}
+
+// Validate checks that the solution matches the instance and stays in-area.
+func (s Solution) Validate(in *Instance) error {
+	if len(s.Positions) != in.NumRouters() {
+		return fmt.Errorf("wmn: solution has %d positions for %d routers", len(s.Positions), in.NumRouters())
+	}
+	area := in.Area()
+	for i, p := range s.Positions {
+		if !area.Contains(p) {
+			return fmt.Errorf("wmn: router %d at %v outside area %v", i, p, area)
+		}
+	}
+	return nil
+}
+
+// errNoRouters is shared by evaluator constructors.
+var errNoRouters = errors.New("wmn: instance has no routers")

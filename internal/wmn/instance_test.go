@@ -1,0 +1,263 @@
+package wmn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"meshplace/internal/dist"
+	"meshplace/internal/geom"
+)
+
+func validInstance() *Instance {
+	return &Instance{
+		Name:    "test",
+		Width:   100,
+		Height:  80,
+		Radii:   []float64{2, 3, 4},
+		Clients: []geom.Point{geom.Pt(10, 10), geom.Pt(50, 40)},
+	}
+}
+
+func TestInstanceAccessors(t *testing.T) {
+	in := validInstance()
+	if in.NumRouters() != 3 || in.NumClients() != 2 {
+		t.Fatalf("counts: %d routers, %d clients", in.NumRouters(), in.NumClients())
+	}
+	if in.MaxRadius() != 4 || in.MinRadius() != 2 {
+		t.Errorf("radius range [%g,%g], want [2,4]", in.MinRadius(), in.MaxRadius())
+	}
+	if in.Area() != geom.Area(100, 80) {
+		t.Errorf("Area = %v", in.Area())
+	}
+}
+
+func TestInstanceRadiiEmpty(t *testing.T) {
+	in := &Instance{Width: 10, Height: 10}
+	if in.MaxRadius() != 0 || in.MinRadius() != 0 {
+		t.Error("empty radii should report 0 min/max")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Instance)
+	}{
+		{name: "zero width", mutate: func(in *Instance) { in.Width = 0 }},
+		{name: "negative height", mutate: func(in *Instance) { in.Height = -5 }},
+		{name: "no routers", mutate: func(in *Instance) { in.Radii = nil }},
+		{name: "zero radius", mutate: func(in *Instance) { in.Radii[1] = 0 }},
+		{name: "negative radius", mutate: func(in *Instance) { in.Radii[0] = -2 }},
+		{name: "client outside", mutate: func(in *Instance) { in.Clients[0] = geom.Pt(100, 10) }},
+		{name: "client negative", mutate: func(in *Instance) { in.Clients[1] = geom.Pt(-1, 0) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := validInstance()
+			tt.mutate(in)
+			if err := in.Validate(); err == nil {
+				t.Error("want validation error, got nil")
+			}
+		})
+	}
+	if err := validInstance().Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := validInstance()
+	in.ClientDist = dist.NormalSpec(50, 40, 10)
+	in.Seed = 77
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != in.Name || back.Width != in.Width || back.Height != in.Height {
+		t.Errorf("header fields changed: %+v", back)
+	}
+	if len(back.Radii) != len(in.Radii) || back.Radii[2] != in.Radii[2] {
+		t.Errorf("radii changed: %v", back.Radii)
+	}
+	if len(back.Clients) != len(in.Clients) || back.Clients[1] != in.Clients[1] {
+		t.Errorf("clients changed: %v", back.Clients)
+	}
+	if back.ClientDist != in.ClientDist || back.Seed != in.Seed {
+		t.Errorf("provenance changed: %+v seed=%d", back.ClientDist, back.Seed)
+	}
+}
+
+func TestReadInstanceRejectsInvalid(t *testing.T) {
+	if _, err := ReadInstance(strings.NewReader(`{"name":"x","width":0,"height":5,"radii":[1]}`)); err == nil {
+		t.Error("invalid instance should fail to read")
+	}
+	if _, err := ReadInstance(strings.NewReader(`{not json`)); err == nil {
+		t.Error("malformed JSON should fail to read")
+	}
+}
+
+func TestSolutionCloneIndependence(t *testing.T) {
+	s := NewSolution(3)
+	s.Positions[0] = geom.Pt(1, 2)
+	c := s.Clone()
+	c.Positions[0] = geom.Pt(9, 9)
+	if s.Positions[0] != geom.Pt(1, 2) {
+		t.Error("Clone shares backing storage with original")
+	}
+}
+
+func TestSolutionValidate(t *testing.T) {
+	in := validInstance()
+	sol := NewSolution(3)
+	for i := range sol.Positions {
+		sol.Positions[i] = geom.Pt(float64(i)*10+1, 5)
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatalf("valid solution rejected: %v", err)
+	}
+	short := NewSolution(2)
+	if err := short.Validate(in); err == nil {
+		t.Error("wrong-length solution accepted")
+	}
+	sol.Positions[2] = geom.Pt(100, 5) // on exclusive max edge
+	if err := sol.Validate(in); err == nil {
+		t.Error("out-of-area solution accepted")
+	}
+}
+
+func TestGenerateDefaultConfig(t *testing.T) {
+	in, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumRouters() != 64 || in.NumClients() != 192 {
+		t.Fatalf("benchmark instance wrong shape: %d routers, %d clients", in.NumRouters(), in.NumClients())
+	}
+	if in.Width != 128 || in.Height != 128 {
+		t.Errorf("area %gx%g, want 128x128", in.Width, in.Height)
+	}
+	for i, r := range in.Radii {
+		if r < 2 || r > 4.5 {
+			t.Errorf("router %d radius %g outside [2,4.5]", i, r)
+		}
+	}
+	if err := in.Validate(); err != nil {
+		t.Errorf("generated instance invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Radii {
+		if a.Radii[i] != b.Radii[i] {
+			t.Fatalf("radius %d differs across identical generations", i)
+		}
+	}
+	for i := range a.Clients {
+		if a.Clients[i] != b.Clients[i] {
+			t.Fatalf("client %d differs across identical generations", i)
+		}
+	}
+}
+
+func TestGenerateSeedIndependence(t *testing.T) {
+	cfg := DefaultGenConfig()
+	a, _ := Generate(cfg)
+	cfg.Seed = 2
+	b, _ := Generate(cfg)
+	same := 0
+	for i := range a.Clients {
+		if a.Clients[i] == b.Clients[i] {
+			same++
+		}
+	}
+	if same == len(a.Clients) {
+		t.Error("different seeds produced identical clients")
+	}
+}
+
+func TestGenerateClientDistDoesNotPerturbRadii(t *testing.T) {
+	// Radii come from an independent sub-stream: changing the client
+	// distribution must not change the router fleet.
+	cfg := DefaultGenConfig()
+	a, _ := Generate(cfg)
+	cfg.ClientDist = dist.ExponentialSpec(32)
+	b, _ := Generate(cfg)
+	for i := range a.Radii {
+		if a.Radii[i] != b.Radii[i] {
+			t.Fatalf("radius %d changed when client distribution changed", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*GenConfig)
+	}{
+		{name: "zero width", mutate: func(c *GenConfig) { c.Width = 0 }},
+		{name: "no routers", mutate: func(c *GenConfig) { c.NumRouters = 0 }},
+		{name: "negative clients", mutate: func(c *GenConfig) { c.NumClients = -1 }},
+		{name: "zero radius min", mutate: func(c *GenConfig) { c.RadiusMin = 0 }},
+		{name: "radius max below min", mutate: func(c *GenConfig) { c.RadiusMax = 1 }},
+		{name: "bad distribution", mutate: func(c *GenConfig) { c.ClientDist = dist.Spec{} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultGenConfig()
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	in := validInstance()
+	sol := NewSolution(3)
+	for i := range sol.Positions {
+		sol.Positions[i] = geom.Pt(float64(i)*10+5, 20)
+	}
+	var buf bytes.Buffer
+	if err := sol.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSolution(&buf, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sol.Positions {
+		if back.Positions[i] != sol.Positions[i] {
+			t.Fatalf("position %d changed: %v -> %v", i, sol.Positions[i], back.Positions[i])
+		}
+	}
+}
+
+func TestReadSolutionRejectsMismatch(t *testing.T) {
+	in := validInstance()
+	short := NewSolution(2)
+	var buf bytes.Buffer
+	if err := short.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSolution(&buf, in); err == nil {
+		t.Error("wrong-length solution accepted")
+	}
+	if _, err := ReadSolution(strings.NewReader("{bad"), in); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package wmn
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RouterReport is one row of a deployment report: everything an operator
+// needs to know about one placed router.
+type RouterReport struct {
+	Router    int        `json:"router"`
+	Position  [2]float64 `json:"position"`
+	Radius    float64    `json:"radius"`
+	Degree    int        `json:"degree"`
+	Component int        `json:"component"`
+	InGiant   bool       `json:"inGiant"`
+	Clients   int        `json:"clients"`
+}
+
+// Report is the full deployment report for one solution.
+type Report struct {
+	Metrics Metrics        `json:"metrics"`
+	Routers []RouterReport `json:"routers"`
+	// Links lists every router-router link as index pairs with i < j.
+	Links [][2]int `json:"links"`
+	// UncoveredClients lists the clients outside every router's radius.
+	UncoveredClients []int `json:"uncoveredClients"`
+}
+
+// BuildReport assembles the deployment report for the solution.
+func (e *Evaluator) BuildReport(sol Solution) (*Report, error) {
+	if err := sol.Validate(e.inst); err != nil {
+		return nil, fmt.Errorf("wmn: report: %w", err)
+	}
+	g := e.buildRouterGraph(sol)
+	labels, sizes := g.Components()
+	giantID, giant := -1, 0
+	for id, sz := range sizes {
+		if sz > giant {
+			giant, giantID = sz, id
+		}
+	}
+
+	rep := &Report{Routers: make([]RouterReport, len(sol.Positions))}
+	for i, p := range sol.Positions {
+		clients := 0
+		e.visitClientsWithin(p, e.inst.Radii[i], func(int) { clients++ })
+		rep.Routers[i] = RouterReport{
+			Router:    i,
+			Position:  [2]float64{p.X, p.Y},
+			Radius:    e.inst.Radii[i],
+			Degree:    g.Degree(i),
+			Component: labels[i],
+			InGiant:   labels[i] == giantID,
+			Clients:   clients,
+		}
+	}
+
+	for i := range sol.Positions {
+		for _, j := range g.Neighbors(i) {
+			if j > i {
+				rep.Links = append(rep.Links, [2]int{i, j})
+			}
+		}
+	}
+	sort.Slice(rep.Links, func(a, b int) bool {
+		if rep.Links[a][0] != rep.Links[b][0] {
+			return rep.Links[a][0] < rep.Links[b][0]
+		}
+		return rep.Links[a][1] < rep.Links[b][1]
+	})
+
+	covered := make([]bool, e.inst.NumClients())
+	for i, p := range sol.Positions {
+		e.visitClientsWithin(p, e.inst.Radii[i], func(c int) { covered[c] = true })
+	}
+	for c, ok := range covered {
+		if !ok {
+			rep.UncoveredClients = append(rep.UncoveredClients, c)
+		}
+	}
+
+	m, err := e.Evaluate(sol)
+	if err != nil {
+		return nil, err
+	}
+	rep.Metrics = m
+	return rep, nil
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deployment: %s\n", r.Metrics)
+	fmt.Fprintf(&b, "%6s %18s %7s %7s %10s %6s %8s\n",
+		"router", "position", "radius", "degree", "component", "giant", "clients")
+	for _, rr := range r.Routers {
+		giant := ""
+		if rr.InGiant {
+			giant = "*"
+		}
+		fmt.Fprintf(&b, "%6d (%7.2f,%7.2f) %7.2f %7d %10d %6s %8d\n",
+			rr.Router, rr.Position[0], rr.Position[1], rr.Radius, rr.Degree, rr.Component, giant, rr.Clients)
+	}
+	fmt.Fprintf(&b, "links: %d, uncovered clients: %d\n", len(r.Links), len(r.UncoveredClients))
+	_, err := io.WriteString(w, b.String())
+	return err
+}

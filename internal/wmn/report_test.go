@@ -1,0 +1,113 @@
+package wmn
+
+import (
+	"strings"
+	"testing"
+
+	"meshplace/internal/geom"
+)
+
+func reportFixture(t *testing.T) (*Evaluator, Solution) {
+	t.Helper()
+	in := &Instance{
+		Name: "report", Width: 100, Height: 100,
+		Radii: []float64{2, 2, 3},
+		Clients: []geom.Point{
+			geom.Pt(10, 10), geom.Pt(11, 10), // near router 0
+			geom.Pt(90, 90), // uncovered
+		},
+	}
+	eval := mustEval(t, in, EvalOptions{})
+	// Routers 0 and 1 linked; router 2 isolated.
+	sol := Solution{Positions: []geom.Point{geom.Pt(10, 10), geom.Pt(13, 10), geom.Pt(50, 50)}}
+	return eval, sol
+}
+
+func TestBuildReport(t *testing.T) {
+	eval, sol := reportFixture(t)
+	rep, err := eval.BuildReport(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Routers) != 3 {
+		t.Fatalf("%d router rows", len(rep.Routers))
+	}
+	if rep.Metrics.GiantSize != 2 {
+		t.Errorf("metrics giant = %d, want 2", rep.Metrics.GiantSize)
+	}
+	if !rep.Routers[0].InGiant || !rep.Routers[1].InGiant || rep.Routers[2].InGiant {
+		t.Errorf("giant flags = %v %v %v, want true true false",
+			rep.Routers[0].InGiant, rep.Routers[1].InGiant, rep.Routers[2].InGiant)
+	}
+	if rep.Routers[0].Degree != 1 || rep.Routers[2].Degree != 0 {
+		t.Errorf("degrees = %d and %d", rep.Routers[0].Degree, rep.Routers[2].Degree)
+	}
+	if rep.Routers[0].Clients != 2 {
+		t.Errorf("router 0 clients = %d, want 2", rep.Routers[0].Clients)
+	}
+	if len(rep.Links) != 1 || rep.Links[0] != [2]int{0, 1} {
+		t.Errorf("links = %v, want [[0 1]]", rep.Links)
+	}
+	if len(rep.UncoveredClients) != 1 || rep.UncoveredClients[0] != 2 {
+		t.Errorf("uncovered = %v, want [2]", rep.UncoveredClients)
+	}
+}
+
+func TestBuildReportRejectsInvalidSolution(t *testing.T) {
+	eval, _ := reportFixture(t)
+	if _, err := eval.BuildReport(NewSolution(1)); err == nil {
+		t.Error("wrong-length solution accepted")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	eval, sol := reportFixture(t)
+	rep, err := eval.BuildReport(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"router", "component", "links: 1", "uncovered clients: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 6 { // header+3 rows+summary+metrics
+		t.Errorf("rendered report has %d lines", lines)
+	}
+}
+
+func TestReportLinkOrderDeterministic(t *testing.T) {
+	in, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := mustEval(t, in, EvalOptions{})
+	sol := NewSolution(in.NumRouters())
+	for i := range sol.Positions {
+		sol.Positions[i] = geom.Pt(float64(i%8)*3+10, float64(i/8)*3+10)
+	}
+	a, err := eval.BuildReport(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eval.BuildReport(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Links) != len(b.Links) {
+		t.Fatal("link counts differ")
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link order differs at %d", i)
+		}
+		if a.Links[i][0] >= a.Links[i][1] {
+			t.Fatalf("link %v not ordered i<j", a.Links[i])
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package meshplace_test
+
+import (
+	"testing"
+
+	"meshplace"
+)
+
+// These tests exercise the public facade end to end, the way a downstream
+// user would: generate → place → search/GA → evaluate.
+
+func facadeInstance(t *testing.T) *meshplace.Instance {
+	t.Helper()
+	cfg := meshplace.DefaultGenConfig()
+	cfg.NumRouters = 32
+	cfg.NumClients = 96
+	inst, err := meshplace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestFacadePipeline(t *testing.T) {
+	inst := facadeInstance(t)
+	eval, err := meshplace.NewEvaluator(inst, meshplace.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range meshplace.PlacementMethods() {
+		sol, err := meshplace.Place(m, inst, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		metrics, err := eval.Evaluate(sol)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if metrics.GiantSize < 1 || metrics.GiantSize > inst.NumRouters() {
+			t.Errorf("%v: giant %d out of range", m, metrics.GiantSize)
+		}
+	}
+}
+
+func TestFacadeSearchersImprove(t *testing.T) {
+	inst := facadeInstance(t)
+	eval, err := meshplace.NewEvaluator(inst, meshplace.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := meshplace.Place(meshplace.Random, inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, err := eval.Evaluate(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ns, err := meshplace.NeighborhoodSearch(eval, initial, meshplace.SearchConfig{
+		Movement: meshplace.NewSwapMovement(), MaxPhases: 15, NeighborsPerPhase: 16,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.BestMetrics.Fitness <= start.Fitness {
+		t.Error("neighborhood search did not improve")
+	}
+
+	hc, err := meshplace.HillClimb(eval, initial, meshplace.HillClimbConfig{
+		Movement: meshplace.NewSwapMovement(), MaxSteps: 300,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.BestMetrics.Fitness <= start.Fitness {
+		t.Error("hill climb did not improve")
+	}
+
+	an, err := meshplace.Anneal(eval, initial, meshplace.AnnealConfig{
+		Movement: meshplace.NewSwapMovement(), Steps: 300,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.BestMetrics.Fitness < start.Fitness {
+		t.Error("annealing lost the initial solution")
+	}
+
+	tb, err := meshplace.Tabu(eval, initial, meshplace.TabuConfig{
+		Movement: meshplace.NewSwapMovement(), MaxPhases: 15, NeighborsPerPhase: 16,
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.BestMetrics.Fitness <= start.Fitness {
+		t.Error("tabu search did not improve")
+	}
+}
+
+func TestFacadeGA(t *testing.T) {
+	inst := facadeInstance(t)
+	eval, err := meshplace.NewEvaluator(inst, meshplace.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := meshplace.NewPlacerInitializer(meshplace.HotSpot, meshplace.PlacementOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := meshplace.GAConfig{PopSize: 16, Generations: 25}
+	res, err := meshplace.RunGA(eval, init, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 || res.BestMetrics.GiantSize < 1 {
+		t.Errorf("GA result malformed: %+v", res.BestMetrics)
+	}
+}
+
+func TestFacadeExperimentQuick(t *testing.T) {
+	study, err := meshplace.RunStudy(meshplace.StudyNormal, meshplace.QuickExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Results) != 7 {
+		t.Fatalf("%d study results", len(study.Results))
+	}
+	cmp, err := meshplace.RunSearchComparison(meshplace.QuickExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Traces) != 2 {
+		t.Fatalf("%d traces", len(cmp.Traces))
+	}
+}
+
+func TestFacadeClientSpecs(t *testing.T) {
+	specs := []meshplace.DistSpec{
+		meshplace.UniformClients(),
+		meshplace.NormalClients(64, 64, 12.8),
+		meshplace.ExponentialClients(32),
+		meshplace.WeibullClients(1.8, 36),
+	}
+	for _, spec := range specs {
+		parsed, err := meshplace.ParseClients(spec.String())
+		if err != nil {
+			t.Errorf("ParseClients(%q): %v", spec.String(), err)
+			continue
+		}
+		if parsed != spec {
+			t.Errorf("round trip changed %v to %v", spec, parsed)
+		}
+		cfg := meshplace.DefaultGenConfig()
+		cfg.NumRouters = 4
+		cfg.NumClients = 16
+		cfg.ClientDist = spec
+		if _, err := meshplace.Generate(cfg); err != nil {
+			t.Errorf("Generate with %v: %v", spec, err)
+		}
+	}
+}
+
+func TestFacadeWeightsAndModels(t *testing.T) {
+	inst := facadeInstance(t)
+	sol, err := meshplace.Place(meshplace.Near, inst, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap, err := meshplace.NewEvaluator(inst, meshplace.EvalOptions{Link: meshplace.LinkCoverageOverlap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := meshplace.NewEvaluator(inst, meshplace.EvalOptions{Link: meshplace.LinkUnitDisk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, err := overlap.Evaluate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := unit.Evaluate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu.Links > mo.Links {
+		t.Errorf("unit-disk produced more links (%d) than coverage-overlap (%d)", mu.Links, mo.Links)
+	}
+	if w := meshplace.DefaultWeights(); w.Connectivity != 0.7 || w.Coverage != 0.3 {
+		t.Errorf("default weights %+v", w)
+	}
+}
