@@ -1,0 +1,23 @@
+# Tier-1 gate (see ROADMAP.md): `make ci` must pass before any commit.
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmarks only (includes the worker-pool scaling benchmark in
+# internal/experiments).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 3x ./...

@@ -18,6 +18,7 @@ func runExperiment(args []string) error {
 	quick := fs.Bool("quick", false, "run at reduced scale (60 GA generations, 20 phases)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	reps := fs.Int("reps", 0, "repetitions per measurement (0 = config default; tables report the median)")
+	workers := fs.Int("workers", 0, "worker-pool size for independent runs (0 = one per CPU)")
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
 	checks := fs.Bool("check", true, "verify the paper's shape claims and report violations")
 	if err := fs.Parse(args); err != nil {
@@ -36,6 +37,7 @@ func runExperiment(args []string) error {
 	if *reps > 0 {
 		cfg.Reps = *reps
 	}
+	cfg.Workers = *workers
 
 	want := map[string]bool{}
 	for _, t := range targets {

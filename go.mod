@@ -1,0 +1,3 @@
+module meshplace
+
+go 1.24

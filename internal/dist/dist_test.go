@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/rng"
+)
+
+// moments returns the sample mean and variance of each coordinate.
+func moments(pts []geom.Point) (meanX, meanY, varX, varY float64) {
+	n := float64(len(pts))
+	for _, p := range pts {
+		meanX += p.X
+		meanY += p.Y
+	}
+	meanX /= n
+	meanY /= n
+	for _, p := range pts {
+		varX += (p.X - meanX) * (p.X - meanX)
+		varY += (p.Y - meanY) * (p.Y - meanY)
+	}
+	varX /= n - 1
+	varY /= n - 1
+	return meanX, meanY, varX, varY
+}
+
+func samplePoints(t *testing.T, spec Spec, area geom.Rect, seed uint64, n int) []geom.Point {
+	t.Helper()
+	sampler, err := spec.Build(area)
+	if err != nil {
+		t.Fatalf("Build(%v): %v", spec, err)
+	}
+	return Points(sampler, rng.DeriveString(seed, "dist/test"), n)
+}
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g ± %g", name, got, want, tol)
+	}
+}
+
+// The moment checks sample each distribution on an area large enough that
+// truncation by the deployment rectangle is negligible, then compare the
+// sample mean and variance of each coordinate against the analytic values.
+// Tolerances are several standard errors wide at n = 20000, so the checks
+// are deterministic for the fixed seed yet tight enough to catch a wrong
+// parameterization (e.g. rate-vs-mean or variance-vs-sigma mixups).
+
+const momentSamples = 20000
+
+func TestUniformMoments(t *testing.T) {
+	pts := samplePoints(t, UniformSpec(), geom.Area(128, 128), 1, momentSamples)
+	meanX, meanY, varX, varY := moments(pts)
+	within(t, "meanX", meanX, 64, 1)
+	within(t, "meanY", meanY, 64, 1)
+	wantVar := 128.0 * 128.0 / 12.0
+	within(t, "varX", varX, wantVar, 0.05*wantVar)
+	within(t, "varY", varY, wantVar, 0.05*wantVar)
+}
+
+func TestNormalMoments(t *testing.T) {
+	pts := samplePoints(t, NormalSpec(64, 60, 12.8), geom.Area(128, 128), 2, momentSamples)
+	meanX, meanY, varX, varY := moments(pts)
+	within(t, "meanX", meanX, 64, 0.5)
+	within(t, "meanY", meanY, 60, 0.5)
+	wantVar := 12.8 * 12.8
+	within(t, "varX", varX, wantVar, 0.07*wantVar)
+	within(t, "varY", varY, wantVar, 0.07*wantVar)
+}
+
+func TestExponentialMoments(t *testing.T) {
+	// A huge area so the exponential tail is effectively untruncated.
+	pts := samplePoints(t, ExponentialSpec(32), geom.Area(4096, 4096), 3, momentSamples)
+	meanX, meanY, varX, varY := moments(pts)
+	within(t, "meanX", meanX, 32, 1)
+	within(t, "meanY", meanY, 32, 1)
+	wantVar := 32.0 * 32.0
+	within(t, "varX", varX, wantVar, 0.07*wantVar)
+	within(t, "varY", varY, wantVar, 0.07*wantVar)
+}
+
+func TestWeibullMoments(t *testing.T) {
+	const shape, scale = 1.8, 36.0
+	pts := samplePoints(t, WeibullSpec(shape, scale), geom.Area(4096, 4096), 4, momentSamples)
+	meanX, meanY, varX, varY := moments(pts)
+	wantMean := scale * math.Gamma(1+1/shape)
+	wantVar := scale*scale*math.Gamma(1+2/shape) - wantMean*wantMean
+	within(t, "meanX", meanX, wantMean, 0.02*wantMean)
+	within(t, "meanY", meanY, wantMean, 0.02*wantMean)
+	within(t, "varX", varX, wantVar, 0.07*wantVar)
+	within(t, "varY", varY, wantVar, 0.07*wantVar)
+}
+
+func TestPointsStayInArea(t *testing.T) {
+	// A small, asymmetric area forces the rejection path for every
+	// unbounded distribution; all points must still land inside.
+	area := geom.Area(40, 30)
+	specs := []Spec{
+		UniformSpec(),
+		NormalSpec(20, 15, 10),
+		ExponentialSpec(12),
+		WeibullSpec(1.8, 14),
+	}
+	for _, spec := range specs {
+		pts := samplePoints(t, spec, area, 5, 2000)
+		for i, p := range pts {
+			if !area.Contains(p) {
+				t.Errorf("%v: point %d at %v outside %v", spec, i, p, area)
+				break
+			}
+		}
+	}
+}
+
+func TestPointsClampFallback(t *testing.T) {
+	// A Normal centered far outside a tiny area never draws in-area, so
+	// every point must come from the clamp fallback — and still satisfy
+	// Contains.
+	area := geom.Area(10, 10)
+	pts := samplePoints(t, NormalSpec(1000, 1000, 1), area, 6, 50)
+	for i, p := range pts {
+		if !area.Contains(p) {
+			t.Fatalf("clamped point %d at %v outside %v", i, p, area)
+		}
+	}
+}
+
+func TestPointsGoldenSeedDeterminism(t *testing.T) {
+	// Same seed ⇒ identical point sets, for every distribution.
+	area := geom.Area(128, 128)
+	for _, spec := range []Spec{
+		UniformSpec(),
+		NormalSpec(64, 64, 12.8),
+		ExponentialSpec(32),
+		WeibullSpec(1.8, 36),
+	} {
+		a := samplePoints(t, spec, area, 7, 256)
+		b := samplePoints(t, spec, area, 7, 256)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%v: point %d differs across identical seeds: %v vs %v", spec, i, a[i], b[i])
+				break
+			}
+		}
+		c := samplePoints(t, spec, area, 8, 256)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Errorf("%v: different seeds produced identical point sets", spec)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    Spec
+		wantErr bool
+	}{
+		{name: "uniform", spec: UniformSpec()},
+		{name: "normal", spec: NormalSpec(64, 64, 12.8)},
+		{name: "exponential", spec: ExponentialSpec(32)},
+		{name: "weibull", spec: WeibullSpec(1.8, 36)},
+		{name: "zero spec", spec: Spec{}, wantErr: true},
+		{name: "unknown kind", spec: Spec{Kind: "pareto"}, wantErr: true},
+		{name: "zero sigma", spec: NormalSpec(64, 64, 0), wantErr: true},
+		{name: "negative sigma", spec: NormalSpec(64, 64, -1), wantErr: true},
+		{name: "zero mean", spec: ExponentialSpec(0), wantErr: true},
+		{name: "zero shape", spec: WeibullSpec(0, 36), wantErr: true},
+		{name: "negative scale", spec: WeibullSpec(1.8, -36), wantErr: true},
+		{name: "NaN sigma", spec: NormalSpec(64, 64, math.NaN()), wantErr: true},
+		{name: "infinite sigma", spec: NormalSpec(64, 64, math.Inf(1)), wantErr: true},
+		{name: "NaN mean coordinate", spec: NormalSpec(math.NaN(), 64, 12.8), wantErr: true},
+		{name: "infinite exponential mean", spec: ExponentialSpec(math.Inf(1)), wantErr: true},
+		{name: "infinite shape", spec: WeibullSpec(math.Inf(1), 36), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuildRejectsEmptyArea(t *testing.T) {
+	if _, err := UniformSpec().Build(geom.Rect{}); err == nil {
+		t.Error("empty area accepted")
+	}
+	if _, err := (Spec{}).Build(geom.Area(10, 10)); err == nil {
+		t.Error("zero spec accepted")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, spec := range []Spec{
+		UniformSpec(),
+		NormalSpec(64, 64, 12.8),
+		ExponentialSpec(32),
+		WeibullSpec(1.8, 36),
+	} {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", spec, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("Unmarshal(%s): %v", data, err)
+		}
+		if back != spec {
+			t.Errorf("JSON round trip changed %v to %v", spec, back)
+		}
+	}
+}
+
+func TestKinds(t *testing.T) {
+	want := []Kind{Uniform, Normal, Exponential, Weibull}
+	got := Kinds()
+	if len(got) != len(want) {
+		t.Fatalf("Kinds() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Kinds()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

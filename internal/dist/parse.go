@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"fmt"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// String renders the spec in the CLI syntax accepted by ParseSpec:
+// "uniform", "normal:mx=64,my=64,sigma=12.8", "exponential:mean=32" or
+// "weibull:shape=1.8,scale=36". Parameters use the shortest float form
+// that round-trips exactly, so ParseSpec(s.String()) == s for every valid
+// spec.
+func (s Spec) String() string {
+	switch s.Kind {
+	case Uniform:
+		return string(Uniform)
+	case Normal:
+		return fmt.Sprintf("normal:mx=%s,my=%s,sigma=%s",
+			formatParam(s.MeanX), formatParam(s.MeanY), formatParam(s.Sigma))
+	case Exponential:
+		return fmt.Sprintf("exponential:mean=%s", formatParam(s.Mean))
+	case Weibull:
+		return fmt.Sprintf("weibull:shape=%s,scale=%s",
+			formatParam(s.Shape), formatParam(s.Scale))
+	case "":
+		return "unspecified"
+	default:
+		return fmt.Sprintf("invalid(%s)", string(s.Kind))
+	}
+}
+
+// formatParam renders a float with the shortest representation that parses
+// back to the identical value.
+func formatParam(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// specParams maps each kind to its required parameter keys, in String
+// order.
+var specParams = map[Kind][]string{
+	Uniform:     nil,
+	Normal:      {"mx", "my", "sigma"},
+	Exponential: {"mean"},
+	Weibull:     {"shape", "scale"},
+}
+
+// ParseSpec parses the CLI syntax for client distributions (the inverse of
+// String): a lowercase kind name, optionally followed by ":" and
+// comma-separated key=value parameters. Kind names are matched
+// case-insensitively; every kind requires exactly its own parameter keys.
+func ParseSpec(text string) (Spec, error) {
+	head, rest, hasParams := strings.Cut(strings.TrimSpace(text), ":")
+	kind := Kind(strings.ToLower(strings.TrimSpace(head)))
+	required, ok := specParams[kind]
+	if !ok || kind == "" {
+		return Spec{}, fmt.Errorf("dist: unknown distribution %q (want uniform, normal, exponential or weibull)", head)
+	}
+	if hasParams && len(required) == 0 {
+		return Spec{}, fmt.Errorf("dist: %s takes no parameters, got %q", kind, rest)
+	}
+
+	params := make(map[string]float64, len(required))
+	if hasParams {
+		for _, item := range strings.Split(rest, ",") {
+			key, value, ok := strings.Cut(item, "=")
+			if !ok {
+				return Spec{}, fmt.Errorf("dist: malformed parameter %q (want key=value)", item)
+			}
+			key = strings.ToLower(strings.TrimSpace(key))
+			if _, dup := params[key]; dup {
+				return Spec{}, fmt.Errorf("dist: duplicate parameter %q", key)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("dist: parameter %q: %w", key, err)
+			}
+			params[key] = v
+		}
+	}
+	for _, key := range required {
+		if _, ok := params[key]; !ok {
+			return Spec{}, fmt.Errorf("dist: %s requires parameter %q (want %s:%s=...)", kind, key, kind, strings.Join(required, "=..,"))
+		}
+	}
+	if len(params) != len(required) {
+		for key := range params {
+			if !slices.Contains(required, key) {
+				return Spec{}, fmt.Errorf("dist: %s does not take parameter %q", kind, key)
+			}
+		}
+	}
+
+	var spec Spec
+	switch kind {
+	case Uniform:
+		spec = UniformSpec()
+	case Normal:
+		spec = NormalSpec(params["mx"], params["my"], params["sigma"])
+	case Exponential:
+		spec = ExponentialSpec(params["mean"])
+	case Weibull:
+		spec = WeibullSpec(params["shape"], params["scale"])
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringParseRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{name: "uniform", spec: UniformSpec(), want: "uniform"},
+		{name: "normal", spec: NormalSpec(64, 64, 12.8), want: "normal:mx=64,my=64,sigma=12.8"},
+		{name: "exponential", spec: ExponentialSpec(32), want: "exponential:mean=32"},
+		{name: "weibull", spec: WeibullSpec(1.8, 36), want: "weibull:shape=1.8,scale=36"},
+		{name: "normal awkward floats", spec: NormalSpec(1.0/3.0, 0.1, 1e-3), want: ""},
+		{name: "weibull tiny scale", spec: WeibullSpec(2.5, 1e-9), want: ""},
+		{name: "exponential huge mean", spec: ExponentialSpec(1e12), want: ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			text := tt.spec.String()
+			if tt.want != "" && text != tt.want {
+				t.Errorf("String() = %q, want %q", text, tt.want)
+			}
+			back, err := ParseSpec(text)
+			if err != nil {
+				t.Fatalf("ParseSpec(%q): %v", text, err)
+			}
+			if back != tt.spec {
+				t.Errorf("round trip changed %#v to %#v", tt.spec, back)
+			}
+		})
+	}
+}
+
+func TestParseSpecAcceptsVariants(t *testing.T) {
+	tests := []struct {
+		give string
+		want Spec
+	}{
+		{give: "UNIFORM", want: UniformSpec()},
+		{give: "  uniform  ", want: UniformSpec()},
+		{give: "Normal:SIGMA=2,my=3,mx=1", want: NormalSpec(1, 3, 2)},
+		{give: "exponential: mean = 32", want: ExponentialSpec(32)},
+		{give: "weibull:scale=36,shape=1.8", want: WeibullSpec(1.8, 36)},
+	}
+	for _, tt := range tests {
+		got, err := ParseSpec(tt.give)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tt.give, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseSpec(%q) = %#v, want %#v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "unknown kind", give: "pareto:alpha=2"},
+		{name: "uniform with params", give: "uniform:mean=3"},
+		{name: "normal missing params", give: "normal"},
+		{name: "normal partial params", give: "normal:mx=1,my=2"},
+		{name: "normal unknown key", give: "normal:mx=1,my=2,sigma=3,skew=4"},
+		{name: "duplicate key", give: "normal:mx=1,mx=2,my=3,sigma=4"},
+		{name: "malformed pair", give: "exponential:mean"},
+		{name: "non-numeric value", give: "weibull:shape=a,scale=2"},
+		{name: "invalid sigma", give: "normal:mx=1,my=2,sigma=0"},
+		{name: "invalid mean", give: "exponential:mean=-3"},
+		{name: "NaN sigma", give: "normal:mx=1,my=2,sigma=NaN"},
+		{name: "infinite shape", give: "weibull:shape=+Inf,scale=36"},
+		{name: "colon only", give: ":"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if spec, err := ParseSpec(tt.give); err == nil {
+				t.Errorf("ParseSpec(%q) = %#v, want error", tt.give, spec)
+			}
+		})
+	}
+}
+
+func TestStringZeroAndInvalidSpecs(t *testing.T) {
+	// The zero and unknown specs must still render something log-friendly
+	// (Instance.String interpolates ClientDist), and must not round-trip.
+	if s := (Spec{}).String(); s != "unspecified" {
+		t.Errorf("zero spec String() = %q", s)
+	}
+	invalid := Spec{Kind: "pareto"}
+	if !strings.Contains(invalid.String(), "pareto") {
+		t.Errorf("invalid spec String() = %q should name the kind", invalid.String())
+	}
+	for _, text := range []string{(Spec{}).String(), invalid.String()} {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", text)
+		}
+	}
+}

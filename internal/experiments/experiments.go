@@ -13,7 +13,6 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"meshplace/internal/dist"
 	"meshplace/internal/ga"
@@ -44,12 +43,18 @@ type Config struct {
 	// The paper reports single runs; medians make the reproduced shapes
 	// stable across seeds. Default (0) means 1.
 	Reps int
-	// Seed drives all randomness. Sub-streams are derived per experiment
-	// and per method, so runs are reproducible and order-independent.
+	// Seed drives all randomness. Sub-streams are derived per experiment,
+	// per method and per repetition, so runs are reproducible and
+	// order-independent.
 	Seed uint64
-	// Parallel runs the per-method GA runs concurrently. Determinism is
-	// preserved because every method draws from its own derived stream.
+	// Parallel fans the independent (method × repetition) runs across a
+	// worker pool. Determinism is preserved because every run draws from
+	// its own derived stream and results are merged by run index, so
+	// output is byte-identical regardless of worker count.
 	Parallel bool
+	// Workers bounds the worker pool when Parallel is set. 0 selects one
+	// worker per available CPU (runtime.GOMAXPROCS).
+	Workers int
 }
 
 // Default returns the full paper-scale configuration: the 128×128 instance
@@ -97,6 +102,9 @@ func (c Config) Validate() error {
 	}
 	if c.Reps < 0 {
 		return fmt.Errorf("experiments: Reps %d < 0", c.Reps)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: Workers %d < 0", c.Workers)
 	}
 	return nil
 }
@@ -182,36 +190,52 @@ func RunStudy(id StudyID, cfg Config) (*Study, error) {
 		reps = 1
 	}
 
-	study := &Study{ID: id, Dist: spec, Instance: in, Results: make([]MethodResult, len(placers))}
-	runOne := func(slot int, p placement.Placer) error {
+	// Every (method × repetition) pair is an independent unit of work:
+	// stand-alone placement plus the GA run it initializes, each drawing
+	// from its own derived rng stream. The pool fans the units across
+	// workers and the merge below reads them back by run index, so the
+	// study is identical for any worker count.
+	type methodRun struct {
+		stand wmn.Metrics
+		ga    ga.Result
+	}
+	runs := make([]methodRun, len(placers)*reps)
+	err = forEachIndexed(len(runs), cfg.workerCount(), func(t int) error {
+		slot, rep := t/reps, t%reps
+		p := placers[slot]
 		label := fmt.Sprintf("%s/%s", id, p.Method())
 
-		// Stand-alone: median repetition by giant component.
-		standRuns := make([]wmn.Metrics, 0, reps)
-		for rep := 0; rep < reps; rep++ {
-			sol, err := p.Place(in, rng.DeriveString(cfg.Seed, fmt.Sprintf("%s/standalone/%d", label, rep)))
-			if err != nil {
-				return fmt.Errorf("experiments: %s stand-alone: %w", label, err)
-			}
-			m, err := eval.Evaluate(sol)
-			if err != nil {
-				return fmt.Errorf("experiments: %s stand-alone: %w", label, err)
-			}
-			standRuns = append(standRuns, m)
+		sol, err := p.Place(in, rng.DeriveString(cfg.Seed, fmt.Sprintf("%s/standalone/%d", label, rep)))
+		if err != nil {
+			return fmt.Errorf("experiments: %s stand-alone: %w", label, err)
+		}
+		stand, err := eval.Evaluate(sol)
+		if err != nil {
+			return fmt.Errorf("experiments: %s stand-alone: %w", label, err)
 		}
 
-		// GA: median repetition by final giant component; its history
-		// becomes the figure series.
-		gaRuns := make([]ga.Result, 0, reps)
-		for rep := 0; rep < reps; rep++ {
-			res, err := ga.Run(eval, ga.PlacerInitializer{Placer: p}, cfg.GA,
-				rng.DeriveString(cfg.Seed, fmt.Sprintf("%s/ga/%d", label, rep)))
-			if err != nil {
-				return fmt.Errorf("experiments: %s GA: %w", label, err)
-			}
-			gaRuns = append(gaRuns, res)
+		gaRes, err := ga.Run(eval, ga.PlacerInitializer{Placer: p}, cfg.GA,
+			rng.DeriveString(cfg.Seed, fmt.Sprintf("%s/ga/%d", label, rep)))
+		if err != nil {
+			return fmt.Errorf("experiments: %s GA: %w", label, err)
 		}
+		runs[t] = methodRun{stand: stand, ga: gaRes}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
+	// Merge: per method, the median repetition by giant component — the
+	// GA's history becomes the figure series.
+	study := &Study{ID: id, Dist: spec, Instance: in, Results: make([]MethodResult, len(placers))}
+	for slot, p := range placers {
+		standRuns := make([]wmn.Metrics, reps)
+		gaRuns := make([]ga.Result, reps)
+		for rep := 0; rep < reps; rep++ {
+			standRuns[rep] = runs[slot*reps+rep].stand
+			gaRuns[rep] = runs[slot*reps+rep].ga
+		}
 		medianGA := medianBy(gaRuns, func(r ga.Result) int { return r.BestMetrics.GiantSize })
 		study.Results[slot] = MethodResult{
 			Method:     p.Method(),
@@ -219,39 +243,6 @@ func RunStudy(id StudyID, cfg Config) (*Study, error) {
 			GABest:     medianGA.BestMetrics,
 			GAHistory:  medianGA.History,
 		}
-		return nil
-	}
-
-	if !cfg.Parallel {
-		for slot, p := range placers {
-			if err := runOne(slot, p); err != nil {
-				return nil, err
-			}
-		}
-		return study, nil
-	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for slot, p := range placers {
-		wg.Add(1)
-		go func(slot int, p placement.Placer) {
-			defer wg.Done()
-			if err := runOne(slot, p); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(slot, p)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return study, nil
 }
@@ -304,26 +295,38 @@ func RunSearchComparison(cfg Config) (*SearchComparison, error) {
 		func() localsearch.Movement { return localsearch.RandomMovement{} },
 		func() localsearch.Movement { return localsearch.NewSwapMovement() },
 	}
+
+	// Every (movement × repetition) search is independent — each task
+	// builds its own Movement value (movements may carry scratch state)
+	// and derives its own rng stream — so the pool can fan them out and
+	// the merge below reads them back by run index.
+	runs := make([]localsearch.Result, len(movements)*reps)
+	err = forEachIndexed(len(runs), cfg.workerCount(), func(t int) error {
+		mi, rep := t/reps, t%reps
+		mv := movements[mi]()
+		res, err := localsearch.Search(eval, initial, localsearch.Config{
+			Movement:          mv,
+			MaxPhases:         cfg.SearchPhases,
+			NeighborsPerPhase: cfg.SearchNeighbors,
+			RecordTrace:       true,
+		}, rng.DeriveString(cfg.Seed, fmt.Sprintf("fig4/%s/%d", mv.Name(), rep)))
+		if err != nil {
+			return fmt.Errorf("experiments: fig4 %s: %w", mv.Name(), err)
+		}
+		runs[t] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	cmp := &SearchComparison{
 		Dist:   spec,
 		Traces: make(map[string][]localsearch.PhaseRecord, len(movements)),
 	}
-	for _, newMovement := range movements {
+	for mi, newMovement := range movements {
 		name := newMovement().Name()
-		runs := make([]localsearch.Result, 0, reps)
-		for rep := 0; rep < reps; rep++ {
-			res, err := localsearch.Search(eval, initial, localsearch.Config{
-				Movement:          newMovement(),
-				MaxPhases:         cfg.SearchPhases,
-				NeighborsPerPhase: cfg.SearchNeighbors,
-				RecordTrace:       true,
-			}, rng.DeriveString(cfg.Seed, fmt.Sprintf("fig4/%s/%d", name, rep)))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig4 %s: %w", name, err)
-			}
-			runs = append(runs, res)
-		}
-		median := medianBy(runs, func(r localsearch.Result) int { return r.BestMetrics.GiantSize })
+		median := medianBy(runs[mi*reps:(mi+1)*reps], func(r localsearch.Result) int { return r.BestMetrics.GiantSize })
 		cmp.Traces[name] = median.Trace
 		cmp.Order = append(cmp.Order, name)
 	}

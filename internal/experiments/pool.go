@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount resolves the number of concurrent workers the config allows:
+// one when Parallel is off, Workers when set, and one per available CPU
+// otherwise.
+func (c Config) workerCount() int {
+	if !c.Parallel {
+		return 1
+	}
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndexed runs fn(i) for every i in [0, n), fanning the calls
+// across at most workers goroutines. Each fn writes its result into slot i
+// of caller-owned storage, so merged output is independent of scheduling;
+// on failure the error with the lowest index is returned, making failures
+// as deterministic as successes regardless of worker count.
+func forEachIndexed(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		errs = make([]error, n)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

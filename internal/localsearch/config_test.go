@@ -1,0 +1,82 @@
+package localsearch
+
+import (
+	"testing"
+
+	"meshplace/internal/rng"
+	"meshplace/internal/wmn"
+)
+
+func TestConfigValidateTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{name: "zero value", cfg: Config{}, wantErr: true}, // nil movement
+		{name: "nil movement with explicit budgets", cfg: Config{MaxPhases: 5, NeighborsPerPhase: 4}, wantErr: true},
+		{name: "zero MaxPhases defaults to 64", cfg: Config{Movement: RandomMovement{}}},
+		{name: "negative MaxPhases", cfg: Config{Movement: RandomMovement{}, MaxPhases: -1}, wantErr: true},
+		{name: "zero NeighborsPerPhase defaults to 32", cfg: Config{Movement: RandomMovement{}, MaxPhases: 5}},
+		{name: "negative NeighborsPerPhase", cfg: Config{Movement: RandomMovement{}, NeighborsPerPhase: -2}, wantErr: true},
+		{name: "fully specified", cfg: Config{Movement: NewSwapMovement(), MaxPhases: 3, NeighborsPerPhase: 2, StopOnNoImprove: true}},
+		{name: "trace only", cfg: Config{Movement: PerturbMovement{}, RecordTrace: true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// stuckMovement never proposes a neighbor, so no phase can ever improve —
+// the degenerate case that must trip StopOnNoImprove immediately.
+type stuckMovement struct{}
+
+func (stuckMovement) Name() string { return "Stuck" }
+
+func (stuckMovement) Propose(_ *wmn.Instance, _, _ wmn.Solution, _ *rng.Rand) bool { return false }
+
+func TestSearchStopOnNoImproveEarlyExit(t *testing.T) {
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	initial := randomSolution(in, 31)
+
+	// With StopOnNoImprove, the very first non-improving phase ends the
+	// search: one phase, zero evaluations.
+	res, err := Search(eval, initial, Config{
+		Movement:          stuckMovement{},
+		MaxPhases:         50,
+		NeighborsPerPhase: 8,
+		StopOnNoImprove:   true,
+	}, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases != 1 {
+		t.Errorf("early exit after %d phases, want 1", res.Phases)
+	}
+	if res.Evaluations != 0 {
+		t.Errorf("%d evaluations for a movement that never proposes", res.Evaluations)
+	}
+
+	// Without StopOnNoImprove the same dead movement still runs the full
+	// phase budget (the Figure 4 behavior).
+	res, err = Search(eval, initial, Config{
+		Movement:          stuckMovement{},
+		MaxPhases:         50,
+		NeighborsPerPhase: 8,
+	}, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases != 50 {
+		t.Errorf("full run stopped at %d phases, want 50", res.Phases)
+	}
+	if res.BestMetrics != eval.MustEvaluate(initial) {
+		t.Error("best metrics drifted from the initial solution without any proposals")
+	}
+}
