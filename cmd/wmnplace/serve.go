@@ -1,0 +1,36 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+
+	"meshplace/internal/server"
+)
+
+// runServe starts the placement service: every solver of the registry
+// behind POST /v1/solve, with async job handles for large instances and an
+// LRU result cache for repeated seeded requests.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "async solve workers (0 = one per CPU)")
+	cache := fs.Int("cache", 256, "result-cache capacity in entries (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := server.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.CacheSize = *cache
+	srv := server.New(cfg)
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wmnplace: serving on http://%s (solvers: %v)\n", ln.Addr(), server.Kinds())
+	return http.Serve(ln, srv)
+}

@@ -162,59 +162,98 @@ type Study struct {
 // RunStudy executes the seven stand-alone placements and seven GA runs for
 // one distribution.
 func RunStudy(id StudyID, cfg Config) (*Study, error) {
+	studies, err := RunStudies([]StudyID{id}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return studies[0], nil
+}
+
+// RunStudies executes several distribution studies over one shared worker
+// pool: every (study × method × repetition) triple is an independent unit
+// of work fanned across cfg's workers, so `experiment all` saturates the
+// pool instead of draining it between studies. Each unit derives the same
+// rng stream RunStudy would give it and results are merged by run index,
+// so every returned study is byte-identical to its stand-alone RunStudy at
+// any worker count.
+func RunStudies(ids []StudyID, cfg Config) ([]*Study, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	spec, err := DistributionFor(id)
-	if err != nil {
-		return nil, err
-	}
-	gen := cfg.Gen
-	gen.ClientDist = spec
-	gen.Name = fmt.Sprintf("%s-%s", gen.Name, id)
-	in, err := wmn.Generate(gen)
-	if err != nil {
-		return nil, err
-	}
-	eval, err := wmn.NewEvaluator(in, cfg.Eval)
-	if err != nil {
-		return nil, err
-	}
-	placers, err := placement.All(cfg.Placement)
-	if err != nil {
-		return nil, err
-	}
 
+	// Per-study setup (instance generation, evaluator, placers) is cheap
+	// and runs sequentially; only the runs fan out.
+	type prepared struct {
+		id      StudyID
+		spec    dist.Spec
+		in      *wmn.Instance
+		eval    *wmn.Evaluator
+		placers []placement.Placer
+		offset  int // first run index of this study in the flat run slice
+	}
 	reps := cfg.Reps
 	if reps == 0 {
 		reps = 1
 	}
+	preps := make([]prepared, len(ids))
+	total := 0
+	for si, id := range ids {
+		spec, err := DistributionFor(id)
+		if err != nil {
+			return nil, err
+		}
+		gen := cfg.Gen
+		gen.ClientDist = spec
+		gen.Name = fmt.Sprintf("%s-%s", gen.Name, id)
+		in, err := wmn.Generate(gen)
+		if err != nil {
+			return nil, err
+		}
+		eval, err := wmn.NewEvaluator(in, cfg.Eval)
+		if err != nil {
+			return nil, err
+		}
+		// Placers are per study: some carry per-instance scratch state.
+		placers, err := placement.All(cfg.Placement)
+		if err != nil {
+			return nil, err
+		}
+		preps[si] = prepared{id: id, spec: spec, in: in, eval: eval, placers: placers, offset: total}
+		total += len(placers) * reps
+	}
 
-	// Every (method × repetition) pair is an independent unit of work:
-	// stand-alone placement plus the GA run it initializes, each drawing
-	// from its own derived rng stream. The pool fans the units across
-	// workers and the merge below reads them back by run index, so the
-	// study is identical for any worker count.
+	// Every (study × method × repetition) triple is an independent unit of
+	// work: stand-alone placement plus the GA run it initializes, each
+	// drawing from its own derived rng stream keyed by study, method and
+	// repetition. The pool fans the units across workers and the merge
+	// below reads them back by run index, so each study is identical for
+	// any worker count and any batching of studies.
 	type methodRun struct {
 		stand wmn.Metrics
 		ga    ga.Result
 	}
-	runs := make([]methodRun, len(placers)*reps)
-	err = forEachIndexed(len(runs), cfg.workerCount(), func(t int) error {
-		slot, rep := t/reps, t%reps
-		p := placers[slot]
-		label := fmt.Sprintf("%s/%s", id, p.Method())
+	runs := make([]methodRun, total)
+	err := ForEachIndexed(total, cfg.workerCount(), func(t int) error {
+		si := len(preps) - 1
+		for preps[si].offset > t {
+			si--
+		}
+		pr := preps[si]
+		local := t - pr.offset
+		slot, rep := local/reps, local%reps
+		p := pr.placers[slot]
+		label := fmt.Sprintf("%s/%s", pr.id, p.Method())
 
-		sol, err := p.Place(in, rng.DeriveString(cfg.Seed, fmt.Sprintf("%s/standalone/%d", label, rep)))
+		sol, err := p.Place(pr.in, rng.DeriveString(cfg.Seed, fmt.Sprintf("%s/standalone/%d", label, rep)))
 		if err != nil {
 			return fmt.Errorf("experiments: %s stand-alone: %w", label, err)
 		}
-		stand, err := eval.Evaluate(sol)
+		stand, err := pr.eval.Evaluate(sol)
 		if err != nil {
 			return fmt.Errorf("experiments: %s stand-alone: %w", label, err)
 		}
 
-		gaRes, err := ga.Run(eval, ga.PlacerInitializer{Placer: p}, cfg.GA,
+		gaRes, err := ga.Run(pr.eval, ga.PlacerInitializer{Placer: p}, cfg.GA,
 			rng.DeriveString(cfg.Seed, fmt.Sprintf("%s/ga/%d", label, rep)))
 		if err != nil {
 			return fmt.Errorf("experiments: %s GA: %w", label, err)
@@ -228,23 +267,27 @@ func RunStudy(id StudyID, cfg Config) (*Study, error) {
 
 	// Merge: per method, the median repetition by giant component — the
 	// GA's history becomes the figure series.
-	study := &Study{ID: id, Dist: spec, Instance: in, Results: make([]MethodResult, len(placers))}
-	for slot, p := range placers {
-		standRuns := make([]wmn.Metrics, reps)
-		gaRuns := make([]ga.Result, reps)
-		for rep := 0; rep < reps; rep++ {
-			standRuns[rep] = runs[slot*reps+rep].stand
-			gaRuns[rep] = runs[slot*reps+rep].ga
+	studies := make([]*Study, len(preps))
+	for si, pr := range preps {
+		study := &Study{ID: pr.id, Dist: pr.spec, Instance: pr.in, Results: make([]MethodResult, len(pr.placers))}
+		for slot, p := range pr.placers {
+			standRuns := make([]wmn.Metrics, reps)
+			gaRuns := make([]ga.Result, reps)
+			for rep := 0; rep < reps; rep++ {
+				standRuns[rep] = runs[pr.offset+slot*reps+rep].stand
+				gaRuns[rep] = runs[pr.offset+slot*reps+rep].ga
+			}
+			medianGA := medianBy(gaRuns, func(r ga.Result) int { return r.BestMetrics.GiantSize })
+			study.Results[slot] = MethodResult{
+				Method:     p.Method(),
+				StandAlone: medianBy(standRuns, func(m wmn.Metrics) int { return m.GiantSize }),
+				GABest:     medianGA.BestMetrics,
+				GAHistory:  medianGA.History,
+			}
 		}
-		medianGA := medianBy(gaRuns, func(r ga.Result) int { return r.BestMetrics.GiantSize })
-		study.Results[slot] = MethodResult{
-			Method:     p.Method(),
-			StandAlone: medianBy(standRuns, func(m wmn.Metrics) int { return m.GiantSize }),
-			GABest:     medianGA.BestMetrics,
-			GAHistory:  medianGA.History,
-		}
+		studies[si] = study
 	}
-	return study, nil
+	return studies, nil
 }
 
 // SearchComparison is the data behind Figure 4: the giant-component
@@ -301,7 +344,7 @@ func RunSearchComparison(cfg Config) (*SearchComparison, error) {
 	// and derives its own rng stream — so the pool can fan them out and
 	// the merge below reads them back by run index.
 	runs := make([]localsearch.Result, len(movements)*reps)
-	err = forEachIndexed(len(runs), cfg.workerCount(), func(t int) error {
+	err = ForEachIndexed(len(runs), cfg.workerCount(), func(t int) error {
 		mi, rep := t/reps, t%reps
 		mv := movements[mi]()
 		res, err := localsearch.Search(eval, initial, localsearch.Config{

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"sync/atomic"
 	"testing"
 )
 
@@ -14,7 +15,7 @@ func TestForEachIndexedFillsAllSlots(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			const n = 100
 			out := make([]int, n)
-			err := forEachIndexed(n, workers, func(i int) error {
+			err := ForEachIndexed(n, workers, func(i int) error {
 				out[i] = i * i
 				return nil
 			})
@@ -33,7 +34,7 @@ func TestForEachIndexedFillsAllSlots(t *testing.T) {
 func TestForEachIndexedReturnsLowestIndexError(t *testing.T) {
 	failAt := map[int]bool{10: true, 37: true}
 	for _, workers := range []int{1, 8} {
-		err := forEachIndexed(50, workers, func(i int) error {
+		err := ForEachIndexed(50, workers, func(i int) error {
 			if failAt[i] {
 				return fmt.Errorf("task %d failed", i)
 			}
@@ -46,12 +47,12 @@ func TestForEachIndexedReturnsLowestIndexError(t *testing.T) {
 }
 
 func TestForEachIndexedEdgeCases(t *testing.T) {
-	if err := forEachIndexed(0, 4, func(int) error { return errors.New("never") }); err != nil {
+	if err := ForEachIndexed(0, 4, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("n=0: %v", err)
 	}
 	// More workers than tasks must not deadlock or skip tasks.
 	out := make([]bool, 2)
-	if err := forEachIndexed(2, 64, func(i int) error { out[i] = true; return nil }); err != nil {
+	if err := ForEachIndexed(2, 64, func(i int) error { out[i] = true; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if !out[0] || !out[1] {
@@ -168,5 +169,75 @@ func BenchmarkRunStudy(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	var count atomic.Int64
+	for i := 0; i < 100; i++ {
+		if !p.Submit(func() { count.Add(1) }) {
+			t.Fatalf("submit %d rejected on an open pool", i)
+		}
+	}
+	p.Wait()
+	if got := count.Load(); got != 100 {
+		t.Errorf("ran %d tasks after Wait, want 100", got)
+	}
+	p.Close()
+	if p.Submit(func() { count.Add(1) }) {
+		t.Error("submit accepted on a closed pool")
+	}
+	if got := count.Load(); got != 100 {
+		t.Errorf("closed pool ran a task: count %d, want 100", got)
+	}
+}
+
+func TestPoolCloseDrainsQueue(t *testing.T) {
+	// One worker, many queued tasks: Close must run them all before
+	// returning, not drop the backlog.
+	p := NewPool(1)
+	var count atomic.Int64
+	for i := 0; i < 50; i++ {
+		p.Submit(func() { count.Add(1) })
+	}
+	p.Close()
+	if got := count.Load(); got != 50 {
+		t.Errorf("Close drained %d tasks, want 50", got)
+	}
+}
+
+func TestPoolDefaultsWorkersToGOMAXPROCS(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if got := p.Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("NewPool(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestRunStudiesMatchesRunStudy pins the study-level fan-out contract:
+// batching studies over the shared pool leaves every per-study artifact
+// byte-identical to its stand-alone run.
+func TestRunStudiesMatchesRunStudy(t *testing.T) {
+	cfg := workersInvariantConfig(8)
+	ids := []StudyID{StudyNormal, StudyExponential}
+	batch, err := RunStudies(ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(ids) {
+		t.Fatalf("RunStudies returned %d studies, want %d", len(batch), len(ids))
+	}
+	for i, id := range ids {
+		solo, err := RunStudy(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(solo.Results, batch[i].Results) {
+			t.Errorf("study %s: batched results differ from stand-alone run", id)
+		}
+		if !bytes.Equal(renderStudy(t, solo), renderStudy(t, batch[i])) {
+			t.Errorf("study %s: batched rendering not byte-identical to stand-alone run", id)
+		}
 	}
 }

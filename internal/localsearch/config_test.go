@@ -80,3 +80,90 @@ func TestSearchStopOnNoImproveEarlyExit(t *testing.T) {
 		t.Error("best metrics drifted from the initial solution without any proposals")
 	}
 }
+
+func TestHillClimbConfigValidateTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     HillClimbConfig
+		wantErr bool
+	}{
+		{name: "zero value", cfg: HillClimbConfig{}, wantErr: true}, // nil movement
+		{name: "movement only defaults the budgets", cfg: HillClimbConfig{Movement: RandomMovement{}}},
+		{name: "negative MaxSteps", cfg: HillClimbConfig{Movement: RandomMovement{}, MaxSteps: -1}, wantErr: true},
+		{name: "negative MaxNoImprove", cfg: HillClimbConfig{Movement: RandomMovement{}, MaxNoImprove: -4}, wantErr: true},
+		{name: "fully specified", cfg: HillClimbConfig{Movement: PerturbMovement{}, MaxSteps: 16, MaxNoImprove: 4}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAnnealConfigValidateTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     AnnealConfig
+		wantErr bool
+	}{
+		{name: "zero value", cfg: AnnealConfig{}, wantErr: true}, // nil movement
+		{name: "movement only defaults the schedule", cfg: AnnealConfig{Movement: PerturbMovement{}}},
+		{name: "negative Steps", cfg: AnnealConfig{Movement: PerturbMovement{}, Steps: -1}, wantErr: true},
+		{name: "negative StartTemp", cfg: AnnealConfig{Movement: PerturbMovement{}, StartTemp: -0.1, EndTemp: 0.001}, wantErr: true},
+		{name: "inverted temperatures", cfg: AnnealConfig{Movement: PerturbMovement{}, StartTemp: 0.001, EndTemp: 0.1}, wantErr: true},
+		{name: "negative TraceEvery", cfg: AnnealConfig{Movement: PerturbMovement{}, TraceEvery: -8}, wantErr: true},
+		{name: "fully specified", cfg: AnnealConfig{Movement: PerturbMovement{}, Steps: 32, StartTemp: 0.1, EndTemp: 0.01, TraceEvery: 4}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTabuConfigValidateTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     TabuConfig
+		wantErr bool
+	}{
+		{name: "zero value", cfg: TabuConfig{}, wantErr: true}, // nil movement
+		{name: "movement only defaults the budgets", cfg: TabuConfig{Movement: NewSwapMovement()}},
+		{name: "negative MaxPhases", cfg: TabuConfig{Movement: RandomMovement{}, MaxPhases: -1}, wantErr: true},
+		{name: "negative NeighborsPerPhase", cfg: TabuConfig{Movement: RandomMovement{}, NeighborsPerPhase: -2}, wantErr: true},
+		{name: "negative Tenure", cfg: TabuConfig{Movement: RandomMovement{}, Tenure: -3}, wantErr: true},
+		{name: "fully specified", cfg: TabuConfig{Movement: NewSwapMovement(), MaxPhases: 4, NeighborsPerPhase: 4, Tenure: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestExtensionRunnersRejectInvalidConfigs pins the wiring: the runners
+// report config errors through Validate instead of silently mis-running.
+func TestExtensionRunnersRejectInvalidConfigs(t *testing.T) {
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	initial := randomSolution(in, 7)
+
+	if _, err := HillClimb(eval, initial, HillClimbConfig{Movement: RandomMovement{}, MaxSteps: -5}, rng.New(1)); err == nil {
+		t.Error("HillClimb accepted a negative MaxSteps")
+	}
+	if _, err := Anneal(eval, initial, AnnealConfig{Movement: PerturbMovement{}, Steps: -5}, rng.New(1)); err == nil {
+		t.Error("Anneal accepted a negative Steps")
+	}
+	if _, err := Tabu(eval, initial, TabuConfig{Movement: RandomMovement{}, Tenure: -5}, rng.New(1)); err == nil {
+		t.Error("Tabu accepted a negative Tenure")
+	}
+}

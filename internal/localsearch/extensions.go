@@ -37,13 +37,29 @@ func (c HillClimbConfig) withDefaults() HillClimbConfig {
 	return c
 }
 
+// Validate rejects unusable configs. Zero fields are valid (they select
+// the documented defaults); negative bounds are not.
+func (c HillClimbConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Movement == nil {
+		return errors.New("localsearch: hill climb has no movement")
+	}
+	if c.MaxSteps < 1 {
+		return fmt.Errorf("localsearch: MaxSteps %d < 1", c.MaxSteps)
+	}
+	if c.MaxNoImprove < 1 {
+		return fmt.Errorf("localsearch: MaxNoImprove %d < 1", c.MaxNoImprove)
+	}
+	return nil
+}
+
 // HillClimb runs a first-improvement hill climber: each proposal is
 // accepted immediately when it improves fitness, which trades the
 // best-neighbor scan of Algorithm 2 for many cheap steps.
 func HillClimb(eval *wmn.Evaluator, initial wmn.Solution, cfg HillClimbConfig, r *rng.Rand) (Result, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Movement == nil {
-		return Result{}, errors.New("localsearch: hill climb has no movement")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	if err := initial.Validate(eval.Instance()); err != nil {
 		return Result{}, fmt.Errorf("localsearch: initial solution: %w", err)
@@ -110,16 +126,32 @@ func (c AnnealConfig) withDefaults() AnnealConfig {
 	return c
 }
 
+// Validate rejects unusable configs. Zero fields are valid (they select
+// the documented defaults); negative or inverted parameters are not.
+func (c AnnealConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Movement == nil {
+		return errors.New("localsearch: anneal has no movement")
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("localsearch: Steps %d < 1", c.Steps)
+	}
+	if c.StartTemp <= 0 || c.EndTemp <= 0 || c.EndTemp > c.StartTemp {
+		return fmt.Errorf("localsearch: invalid temperature range [%g,%g]", c.EndTemp, c.StartTemp)
+	}
+	if c.TraceEvery < 1 {
+		return fmt.Errorf("localsearch: TraceEvery %d < 1", c.TraceEvery)
+	}
+	return nil
+}
+
 // Anneal runs simulated annealing: worse neighbors are accepted with
 // probability exp(Δf/T) under a geometric cooling schedule from StartTemp
 // to EndTemp.
 func Anneal(eval *wmn.Evaluator, initial wmn.Solution, cfg AnnealConfig, r *rng.Rand) (Result, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Movement == nil {
-		return Result{}, errors.New("localsearch: anneal has no movement")
-	}
-	if cfg.StartTemp <= 0 || cfg.EndTemp <= 0 || cfg.EndTemp > cfg.StartTemp {
-		return Result{}, fmt.Errorf("localsearch: invalid temperature range [%g,%g]", cfg.EndTemp, cfg.StartTemp)
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	if err := initial.Validate(eval.Instance()); err != nil {
 		return Result{}, fmt.Errorf("localsearch: initial solution: %w", err)
@@ -181,14 +213,33 @@ func (c TabuConfig) withDefaults() TabuConfig {
 	return c
 }
 
+// Validate rejects unusable configs. Zero fields are valid (they select
+// the documented defaults); negative parameters are not.
+func (c TabuConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Movement == nil {
+		return errors.New("localsearch: tabu has no movement")
+	}
+	if c.MaxPhases < 1 {
+		return fmt.Errorf("localsearch: MaxPhases %d < 1", c.MaxPhases)
+	}
+	if c.NeighborsPerPhase < 1 {
+		return fmt.Errorf("localsearch: NeighborsPerPhase %d < 1", c.NeighborsPerPhase)
+	}
+	if c.Tenure < 1 {
+		return fmt.Errorf("localsearch: Tenure %d < 1", c.Tenure)
+	}
+	return nil
+}
+
 // Tabu runs a tabu search: per phase the best non-tabu neighbor is accepted
 // even when it worsens fitness (escaping local optima), routers changed by
 // an accepted move become tabu for Tenure phases, and a tabu move is still
 // allowed when it beats the best solution seen (aspiration).
 func Tabu(eval *wmn.Evaluator, initial wmn.Solution, cfg TabuConfig, r *rng.Rand) (Result, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Movement == nil {
-		return Result{}, errors.New("localsearch: tabu has no movement")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	if err := initial.Validate(eval.Instance()); err != nil {
 		return Result{}, fmt.Errorf("localsearch: initial solution: %w", err)

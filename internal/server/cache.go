@@ -1,0 +1,131 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+
+	"meshplace/internal/wmn"
+)
+
+// Cache is a fixed-capacity LRU over marshaled solve payloads, keyed by
+// (instance hash, solver spec, seed). Because every solver is
+// deterministic in that triple, a hit can be served as the stored bytes —
+// repeated seeded requests stay byte-identical without recomputation.
+// Safe for concurrent use.
+type Cache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache holding at most capacity entries; a
+// non-positive capacity returns a disabled cache whose Get always misses.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return &Cache{}
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Enabled reports whether the cache stores anything at all.
+func (c *Cache) Enabled() bool { return c != nil && c.cap > 0 }
+
+// Get returns the payload stored under key and marks it most recently
+// used. Callers must not modify the returned bytes.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if !c.Enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores the payload under key, evicting the least recently used
+// entries beyond capacity. The cache keeps a reference to val; callers
+// must not modify it afterwards.
+func (c *Cache) Put(key string, val []byte) {
+	if !c.Enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	if !c.Enabled() {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a snapshot of cache effectiveness, exposed on /healthz.
+type CacheStats struct {
+	Capacity int    `json:"capacity"`
+	Entries  int    `json:"entries"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// Stats returns a consistent snapshot.
+func (c *Cache) Stats() CacheStats {
+	if !c.Enabled() {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Capacity: c.cap, Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses}
+}
+
+// HashInstance fingerprints an instance by FNV-1a over its canonical JSON
+// encoding. Equal instances (same area, radii, clients, provenance) hash
+// equally on every platform, making the hash a stable cache-key component
+// and a useful response field for clients tracking what was solved.
+func HashInstance(in *wmn.Instance) string {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		// Instance is a plain struct of floats and slices; Marshal cannot
+		// fail on a validated value.
+		panic(fmt.Sprintf("server: hash instance: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// cacheKey joins the three determinism inputs of a solve.
+func cacheKey(instanceHash string, spec Spec, seed uint64) string {
+	return instanceHash + "|" + spec.String() + "|" + strconv.FormatUint(seed, 10)
+}

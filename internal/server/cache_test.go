@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	// Touch a so b is the LRU entry.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order ignored")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("newest entry c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(4)
+	c.Put("k", []byte("one"))
+	c.Put("k", []byte("two"))
+	if got, _ := c.Get("k"); string(got) != "two" {
+		t.Errorf("Get after overwrite = %q, want two", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after double Put of one key", c.Len())
+	}
+}
+
+func TestCacheDisabledIsInert(t *testing.T) {
+	for _, c := range []*Cache{NewCache(0), NewCache(-3)} {
+		if c.Enabled() {
+			t.Error("non-positive capacity cache reports enabled")
+		}
+		c.Put("k", []byte("v"))
+		if _, ok := c.Get("k"); ok {
+			t.Error("disabled cache stored a value")
+		}
+		if c.Len() != 0 || c.Stats() != (CacheStats{}) {
+			t.Error("disabled cache has state")
+		}
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := NewCache(8)
+	c.Put("k", []byte("v"))
+	c.Get("k")
+	c.Get("k")
+	c.Get("absent")
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 || s.Capacity != 8 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+// TestCacheConcurrentAccess exercises the lock under -race.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%24)
+				if i%3 == 0 {
+					c.Put(key, []byte(key))
+				} else if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("key %s holds %q", key, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("cache exceeded capacity: %d", c.Len())
+	}
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"meshplace/internal/experiments"
+)
+
+// JobStatus enumerates the lifecycle of an async solve.
+type JobStatus string
+
+// Job lifecycle states, in order.
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// JobView is the JSON representation of a job returned by POST /v1/solve
+// (async) and GET /v1/jobs/{id}. Result carries the exact payload a
+// synchronous solve of the same request would return, byte for byte.
+type JobView struct {
+	ID     string          `json:"id"`
+	Status JobStatus       `json:"status"`
+	Solver Spec            `json:"solver"`
+	Seed   uint64          `json:"seed"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+type job struct {
+	mu   sync.Mutex
+	view JobView
+}
+
+func (j *job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view
+}
+
+func (j *job) setStatus(s JobStatus) {
+	j.mu.Lock()
+	j.view.Status = s
+	j.mu.Unlock()
+}
+
+func (j *job) finish(result []byte, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.view.Status = JobFailed
+		j.view.Error = err.Error()
+	} else {
+		j.view.Status = JobDone
+		j.view.Result = result
+	}
+	j.mu.Unlock()
+}
+
+// maxRetainedJobs bounds the job table: once exceeded, the oldest finished
+// jobs are forgotten (their results usually live on in the cache anyway).
+const maxRetainedJobs = 1024
+
+// errBacklogFull rejects async submissions once the pending backlog is at
+// capacity — the server's backpressure signal (429).
+var errBacklogFull = fmt.Errorf("server: async backlog full, retry later")
+
+// jobQueue tracks async solves. Execution rides the experiments worker
+// pool — the same bounded-concurrency mechanism the batch experiment
+// runners use — so the server never spawns ad hoc goroutines and heavy
+// solves cannot oversubscribe the host. maxPending bounds the queued +
+// running backlog (each pending job pins its instance and a pool-queue
+// slot); beyond it, submit rejects with errBacklogFull.
+type jobQueue struct {
+	mu         sync.Mutex
+	pool       *experiments.Pool
+	jobs       map[string]*job
+	order      []string // insertion order, for eviction
+	seq        uint64
+	pending    int
+	maxPending int // <= 0 means unbounded
+}
+
+func newJobQueue(pool *experiments.Pool, maxPending int) *jobQueue {
+	return &jobQueue{pool: pool, jobs: make(map[string]*job), maxPending: maxPending}
+}
+
+// submit registers a job and enqueues its run on the pool, returning the
+// initial (queued) view, or errBacklogFull when the pending backlog is at
+// capacity. IDs are sequential, not random, so job handles are
+// deterministic within a server lifetime.
+func (q *jobQueue) submit(spec Spec, seed uint64, run func() ([]byte, error)) (JobView, error) {
+	q.mu.Lock()
+	if q.maxPending > 0 && q.pending >= q.maxPending {
+		q.mu.Unlock()
+		return JobView{}, errBacklogFull
+	}
+	q.pending++
+	q.seq++
+	id := fmt.Sprintf("job-%08d", q.seq)
+	j := &job{view: JobView{ID: id, Status: JobQueued, Solver: spec, Seed: seed}}
+	q.jobs[id] = j
+	q.order = append(q.order, id)
+	q.evictLocked()
+	q.mu.Unlock()
+
+	if !q.pool.Submit(func() {
+		j.setStatus(JobRunning)
+		out, err := run()
+		q.release()
+		j.finish(out, err)
+	}) {
+		q.release()
+		j.finish(nil, fmt.Errorf("server: job queue closed"))
+	}
+	return j.snapshot(), nil
+}
+
+// release frees one pending slot.
+func (q *jobQueue) release() {
+	q.mu.Lock()
+	q.pending--
+	q.mu.Unlock()
+}
+
+// pendingCount returns the queued + running backlog.
+func (q *jobQueue) pendingCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending
+}
+
+// get returns the current view of a job.
+func (q *jobQueue) get(id string) (JobView, bool) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	return j.snapshot(), true
+}
+
+// len returns the number of retained jobs.
+func (q *jobQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// evictLocked drops the oldest finished jobs beyond maxRetainedJobs.
+// Requires q.mu held.
+func (q *jobQueue) evictLocked() {
+	if len(q.jobs) <= maxRetainedJobs {
+		return
+	}
+	kept := q.order[:0]
+	for _, id := range q.order {
+		if len(q.jobs) <= maxRetainedJobs {
+			kept = append(kept, id)
+			continue
+		}
+		switch q.jobs[id].snapshot().Status {
+		case JobDone, JobFailed:
+			delete(q.jobs, id)
+		default:
+			kept = append(kept, id)
+		}
+	}
+	q.order = append([]string(nil), kept...)
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"meshplace/internal/experiments"
+)
+
+func waitStatus(t *testing.T, q *jobQueue, id string, want JobStatus) JobView {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		view, ok := q.get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if view.Status == want {
+			return view
+		}
+		if view.Status == JobDone || view.Status == JobFailed {
+			t.Fatalf("job %s settled at %s waiting for %s (err %q)", id, view.Status, want, view.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobView{}
+}
+
+func TestJobLifecycleSuccess(t *testing.T) {
+	pool := experiments.NewPool(2)
+	defer pool.Close()
+	q := newJobQueue(pool, 0)
+
+	spec, err := ParseSpec("adhoc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := q.submit(spec, 42, func() ([]byte, error) { return []byte(`{"ok":true}`), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ID == "" || (view.Status != JobQueued && view.Status != JobRunning && view.Status != JobDone) {
+		t.Fatalf("initial view = %+v", view)
+	}
+	if view.Seed != 42 || view.Solver.Kind() != "adhoc" {
+		t.Errorf("job metadata = %+v", view)
+	}
+
+	done := waitStatus(t, q, view.ID, JobDone)
+	if string(done.Result) != `{"ok":true}` {
+		t.Errorf("result = %s", done.Result)
+	}
+	if done.Error != "" {
+		t.Errorf("done job has error %q", done.Error)
+	}
+}
+
+func TestJobLifecycleFailure(t *testing.T) {
+	pool := experiments.NewPool(1)
+	defer pool.Close()
+	q := newJobQueue(pool, 0)
+
+	spec, _ := ParseSpec("adhoc")
+	view, err := q.submit(spec, 1, func() ([]byte, error) { return nil, errors.New("boom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitStatus(t, q, view.ID, JobFailed)
+	if failed.Error != "boom" {
+		t.Errorf("failure message = %q", failed.Error)
+	}
+	if len(failed.Result) != 0 {
+		t.Errorf("failed job carries a result: %s", failed.Result)
+	}
+}
+
+func TestJobOrderedExecutionOnOneWorker(t *testing.T) {
+	// One worker drains jobs in submission order.
+	pool := experiments.NewPool(1)
+	defer pool.Close()
+	q := newJobQueue(pool, 0)
+	spec, _ := ParseSpec("adhoc")
+
+	var order []int
+	var ids []string
+	for i := 0; i < 5; i++ {
+		view, err := q.submit(spec, uint64(i), func() ([]byte, error) {
+			order = append(order, i) // safe: single worker
+			return []byte("{}"), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, view.ID)
+	}
+	for _, id := range ids {
+		waitStatus(t, q, id, JobDone)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestJobSubmitAfterPoolClose(t *testing.T) {
+	pool := experiments.NewPool(1)
+	pool.Close()
+	q := newJobQueue(pool, 0)
+	spec, _ := ParseSpec("adhoc")
+	view, err := q.submit(spec, 1, func() ([]byte, error) { return []byte("{}"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != JobFailed {
+		t.Errorf("submit on closed pool = %s, want failed", view.Status)
+	}
+}
+
+func TestJobEvictionKeepsTableBounded(t *testing.T) {
+	pool := experiments.NewPool(4)
+	defer pool.Close()
+	q := newJobQueue(pool, 0)
+	spec, _ := ParseSpec("adhoc")
+
+	for i := 0; i < maxRetainedJobs+100; i++ {
+		if _, err := q.submit(spec, uint64(i), func() ([]byte, error) { return []byte("{}"), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Wait()
+	// Eviction happens on submit (unfinished jobs are never dropped), so
+	// the next submit after the backlog drains prunes the table.
+	view, err := q.submit(spec, 0, func() ([]byte, error) { return []byte("{}"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, q, view.ID, JobDone)
+	if n := q.len(); n > maxRetainedJobs {
+		t.Errorf("job table holds %d entries, want ≤ %d", n, maxRetainedJobs)
+	}
+	// The newest job is always retained.
+	if _, ok := q.get(view.ID); !ok {
+		t.Error("newest job was evicted")
+	}
+	// Sequential IDs stay unique after eviction.
+	if view.ID != fmt.Sprintf("job-%08d", maxRetainedJobs+101) {
+		t.Errorf("last id = %s", view.ID)
+	}
+}
+
+func TestJobBacklogLimitRejectsThenRecovers(t *testing.T) {
+	pool := experiments.NewPool(1)
+	defer pool.Close()
+	q := newJobQueue(pool, 2)
+	spec, _ := ParseSpec("adhoc")
+
+	release := make(chan struct{})
+	blocked := func() ([]byte, error) { <-release; return []byte("{}"), nil }
+	first, err := q.submit(spec, 1, blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := q.submit(spec, 2, blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.submit(spec, 3, blocked); err == nil {
+		t.Fatal("third submit accepted over a backlog of 2")
+	}
+	if q.pendingCount() != 2 {
+		t.Errorf("pending = %d, want 2", q.pendingCount())
+	}
+
+	close(release)
+	waitStatus(t, q, first.ID, JobDone)
+	waitStatus(t, q, second.ID, JobDone)
+	// The backlog drains (pending slots free before finish is published,
+	// so no extra wait is needed once both jobs report done).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := q.submit(spec, 4, func() ([]byte, error) { return []byte("{}"), nil }); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("backlog never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"meshplace/internal/ga"
+	"meshplace/internal/localsearch"
+	"meshplace/internal/placement"
+	"meshplace/internal/rng"
+	"meshplace/internal/wmn"
+)
+
+// Solver is the unified interface over every placement method of the
+// library. Implementations are safe for concurrent use: all per-solve
+// state is derived inside Solve from the evaluator and the seed, and
+// identical (instance, spec, seed) triples yield identical solutions.
+type Solver interface {
+	// Spec returns the canonical spec the solver was built from.
+	Spec() Spec
+	// Solve places the evaluator's instance, deriving every random
+	// stream from seed, and returns the best solution found with its
+	// metrics.
+	Solve(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error)
+}
+
+type solveFunc func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error)
+
+type solver struct {
+	spec Spec
+	run  solveFunc
+}
+
+func (s solver) Spec() Spec { return s.spec }
+
+func (s solver) Solve(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+	return s.run(eval, seed)
+}
+
+// paramDef declares one parameter of a registered solver kind: its key,
+// default (in canonical form), documentation, and the checker that
+// canonicalizes or rejects raw values.
+type paramDef struct {
+	key   string
+	def   string
+	doc   string
+	check func(raw string) (string, error)
+}
+
+// solverDef is one registry entry.
+type solverDef struct {
+	kind   string
+	doc    string
+	params []paramDef
+	build  func(spec Spec) (solveFunc, error)
+}
+
+// registry holds every solver kind; kinds preserves registration order so
+// listings are stable.
+var (
+	registry = map[string]*solverDef{}
+	kinds    []string
+)
+
+func register(def *solverDef) {
+	if _, dup := registry[def.kind]; dup {
+		panic(fmt.Sprintf("server: duplicate solver kind %q", def.kind))
+	}
+	registry[def.kind] = def
+	kinds = append(kinds, def.kind)
+}
+
+// Kinds returns the registered solver kinds in registration order.
+func Kinds() []string {
+	out := make([]string, len(kinds))
+	copy(out, kinds)
+	return out
+}
+
+// NewSolver builds the solver for a spec obtained from ParseSpec.
+func NewSolver(spec Spec) (Solver, error) {
+	def, ok := registry[spec.kind]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown solver %q", spec.kind)
+	}
+	run, err := def.build(spec)
+	if err != nil {
+		return nil, fmt.Errorf("server: build %s: %w", spec, err)
+	}
+	return solver{spec: spec, run: run}, nil
+}
+
+// ParamInfo documents one parameter of a solver kind for /v1/solvers.
+type ParamInfo struct {
+	Key     string `json:"key"`
+	Default string `json:"default"`
+	Doc     string `json:"doc"`
+}
+
+// SolverInfo documents one registered solver kind for /v1/solvers.
+type SolverInfo struct {
+	Kind string `json:"kind"`
+	Doc  string `json:"doc"`
+	// Spec is the canonical default spec — what ParseSpec(Kind) yields.
+	Spec   string      `json:"spec"`
+	Params []ParamInfo `json:"params"`
+}
+
+// Catalog describes every registered solver kind in registration order.
+func Catalog() []SolverInfo {
+	out := make([]SolverInfo, 0, len(kinds))
+	for _, kind := range kinds {
+		def := registry[kind]
+		info := SolverInfo{Kind: kind, Doc: def.doc, Params: make([]ParamInfo, 0, len(def.params))}
+		for _, pd := range def.params {
+			info.Params = append(info.Params, ParamInfo{Key: pd.key, Default: pd.def, Doc: pd.doc})
+		}
+		spec, err := ParseSpec(kind)
+		if err != nil {
+			panic(fmt.Sprintf("server: default spec of %q does not parse: %v", kind, err))
+		}
+		info.Spec = spec.String()
+		out = append(out, info)
+	}
+	return out
+}
+
+// methodParam accepts an ad hoc placement method name, canonicalized to
+// the paper's capitalization.
+func methodParam(raw string) (string, error) {
+	m, err := placement.MethodFromName(raw)
+	if err != nil {
+		return "", err
+	}
+	return m.String(), nil
+}
+
+// movementParam accepts a neighborhood movement name, canonicalized to
+// lowercase.
+func movementParam(raw string) (string, error) {
+	name := strings.ToLower(raw)
+	switch name {
+	case "swap", "random", "perturb":
+		return name, nil
+	default:
+		return "", fmt.Errorf("unknown movement %q (want swap, random or perturb)", raw)
+	}
+}
+
+// movementFor builds a fresh Movement for one solve; swap movements carry
+// per-instance scratch state and must not be shared across runs.
+func movementFor(name string) localsearch.Movement {
+	switch name {
+	case "swap":
+		return localsearch.NewSwapMovement()
+	case "random":
+		return localsearch.RandomMovement{}
+	case "perturb":
+		return localsearch.PerturbMovement{}
+	default:
+		panic(fmt.Sprintf("server: movement %q escaped validation", name))
+	}
+}
+
+// initialSolution places the spec's "init" method on the instance, seeding
+// it from the solve seed's derived init stream.
+func initialSolution(spec Spec, eval *wmn.Evaluator, seed uint64) (wmn.Solution, error) {
+	m, err := placement.MethodFromName(spec.Param("init"))
+	if err != nil {
+		return wmn.Solution{}, err
+	}
+	p, err := placement.New(m, placement.Options{})
+	if err != nil {
+		return wmn.Solution{}, err
+	}
+	return p.Place(eval.Instance(), rng.DeriveString(seed, "solve/init"))
+}
+
+// The param sets shared by the search-style solvers.
+var initParam = paramDef{key: "init", def: "Random", doc: "ad hoc method producing the initial solution", check: methodParam}
+
+func init() {
+	register(&solverDef{
+		kind: "adhoc",
+		doc:  "one of the paper's seven ad hoc placement methods (§3), stand-alone",
+		params: []paramDef{
+			{key: "method", def: "HotSpot", doc: "placement method (Random, ColLeft, Diag, Cross, Near, Corners, HotSpot)", check: methodParam},
+		},
+		build: func(spec Spec) (solveFunc, error) {
+			m, err := placement.MethodFromName(spec.Param("method"))
+			if err != nil {
+				return nil, err
+			}
+			p, err := placement.New(m, placement.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+				sol, err := p.Place(eval.Instance(), rng.DeriveString(seed, "solve/adhoc"))
+				if err != nil {
+					return wmn.Solution{}, wmn.Metrics{}, err
+				}
+				metrics, err := eval.Evaluate(sol)
+				return sol, metrics, err
+			}, nil
+		},
+	})
+
+	register(&solverDef{
+		kind: "search",
+		doc:  "the neighborhood search of §4 (best neighbor per phase)",
+		params: []paramDef{
+			{key: "movement", def: "swap", doc: "neighborhood movement (swap, random, perturb)", check: movementParam},
+			initParam,
+			{key: "phases", def: "61", doc: "maximum search phases", check: intParam(1)},
+			{key: "neighbors", def: "16", doc: "neighbors examined per phase", check: intParam(1)},
+		},
+		build: func(spec Spec) (solveFunc, error) {
+			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+				initial, err := initialSolution(spec, eval, seed)
+				if err != nil {
+					return wmn.Solution{}, wmn.Metrics{}, err
+				}
+				res, err := localsearch.Search(eval, initial, localsearch.Config{
+					Movement:          movementFor(spec.Param("movement")),
+					MaxPhases:         spec.specInt("phases"),
+					NeighborsPerPhase: spec.specInt("neighbors"),
+				}, rng.DeriveString(seed, "solve/search"))
+				if err != nil {
+					return wmn.Solution{}, wmn.Metrics{}, err
+				}
+				return res.Best, res.BestMetrics, nil
+			}, nil
+		},
+	})
+
+	register(&solverDef{
+		kind: "hillclimb",
+		doc:  "first-improvement hill climbing (paper future work)",
+		params: []paramDef{
+			{key: "movement", def: "perturb", doc: "neighborhood movement (swap, random, perturb)", check: movementParam},
+			initParam,
+			{key: "steps", def: "2048", doc: "maximum proposals", check: intParam(1)},
+			{key: "noimprove", def: "256", doc: "consecutive rejections before stopping", check: intParam(1)},
+		},
+		build: func(spec Spec) (solveFunc, error) {
+			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+				initial, err := initialSolution(spec, eval, seed)
+				if err != nil {
+					return wmn.Solution{}, wmn.Metrics{}, err
+				}
+				res, err := localsearch.HillClimb(eval, initial, localsearch.HillClimbConfig{
+					Movement:     movementFor(spec.Param("movement")),
+					MaxSteps:     spec.specInt("steps"),
+					MaxNoImprove: spec.specInt("noimprove"),
+				}, rng.DeriveString(seed, "solve/hillclimb"))
+				if err != nil {
+					return wmn.Solution{}, wmn.Metrics{}, err
+				}
+				return res.Best, res.BestMetrics, nil
+			}, nil
+		},
+	})
+
+	register(&solverDef{
+		kind: "anneal",
+		doc:  "simulated annealing under a geometric cooling schedule (paper future work)",
+		params: []paramDef{
+			{key: "movement", def: "perturb", doc: "neighborhood movement (swap, random, perturb)", check: movementParam},
+			initParam,
+			{key: "steps", def: "4096", doc: "total proposals", check: intParam(1)},
+			{key: "starttemp", def: "0.05", doc: "initial temperature (fitness units)", check: floatParam},
+			{key: "endtemp", def: "0.0005", doc: "final temperature (must not exceed starttemp)", check: floatParam},
+		},
+		build: func(spec Spec) (solveFunc, error) {
+			cfg := localsearch.AnnealConfig{
+				Steps:     spec.specInt("steps"),
+				StartTemp: spec.specFloat("starttemp"),
+				EndTemp:   spec.specFloat("endtemp"),
+			}
+			// Cross-field checks (endtemp ≤ starttemp) live in the config's
+			// Validate; surface them at build time, not first solve.
+			probe := cfg
+			probe.Movement = movementFor(spec.Param("movement"))
+			if err := probe.Validate(); err != nil {
+				return nil, err
+			}
+			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+				initial, err := initialSolution(spec, eval, seed)
+				if err != nil {
+					return wmn.Solution{}, wmn.Metrics{}, err
+				}
+				run := cfg
+				run.Movement = movementFor(spec.Param("movement"))
+				res, err := localsearch.Anneal(eval, initial, run, rng.DeriveString(seed, "solve/anneal"))
+				if err != nil {
+					return wmn.Solution{}, wmn.Metrics{}, err
+				}
+				return res.Best, res.BestMetrics, nil
+			}, nil
+		},
+	})
+
+	register(&solverDef{
+		kind: "tabu",
+		doc:  "tabu search with aspiration (paper future work)",
+		params: []paramDef{
+			{key: "movement", def: "swap", doc: "neighborhood movement (swap, random, perturb)", check: movementParam},
+			initParam,
+			{key: "phases", def: "64", doc: "maximum phases", check: intParam(1)},
+			{key: "neighbors", def: "32", doc: "neighbors examined per phase", check: intParam(1)},
+			{key: "tenure", def: "8", doc: "phases a changed router stays tabu", check: intParam(1)},
+		},
+		build: func(spec Spec) (solveFunc, error) {
+			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+				initial, err := initialSolution(spec, eval, seed)
+				if err != nil {
+					return wmn.Solution{}, wmn.Metrics{}, err
+				}
+				res, err := localsearch.Tabu(eval, initial, localsearch.TabuConfig{
+					Movement:          movementFor(spec.Param("movement")),
+					MaxPhases:         spec.specInt("phases"),
+					NeighborsPerPhase: spec.specInt("neighbors"),
+					Tenure:            spec.specInt("tenure"),
+				}, rng.DeriveString(seed, "solve/tabu"))
+				if err != nil {
+					return wmn.Solution{}, wmn.Metrics{}, err
+				}
+				return res.Best, res.BestMetrics, nil
+			}, nil
+		},
+	})
+
+	register(&solverDef{
+		kind: "ga",
+		doc:  "the genetic algorithm of §5 initialized from an ad hoc method",
+		params: []paramDef{
+			{key: "init", def: "HotSpot", doc: "ad hoc method initializing the population", check: methodParam},
+			{key: "generations", def: "800", doc: "number of generations", check: intParam(1)},
+			{key: "pop", def: "64", doc: "population size", check: intParam(4)},
+		},
+		build: func(spec Spec) (solveFunc, error) {
+			m, err := placement.MethodFromName(spec.Param("init"))
+			if err != nil {
+				return nil, err
+			}
+			init, err := ga.NewPlacerInitializer(m, placement.Options{})
+			if err != nil {
+				return nil, err
+			}
+			cfg := ga.DefaultConfig()
+			cfg.Generations = spec.specInt("generations")
+			cfg.PopSize = spec.specInt("pop")
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+				res, err := ga.Run(eval, init, cfg, rng.DeriveString(seed, "solve/ga"))
+				if err != nil {
+					return wmn.Solution{}, wmn.Metrics{}, err
+				}
+				return res.Best, res.BestMetrics, nil
+			}, nil
+		},
+	})
+}

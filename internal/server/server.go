@@ -1,0 +1,317 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"meshplace/internal/experiments"
+	"meshplace/internal/wmn"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// documents the default its zero selects, except CacheSize where zero
+// disables caching explicitly.
+type Config struct {
+	// Workers bounds the async job pool. 0 selects one per available CPU.
+	Workers int
+	// CacheSize is the LRU result-cache capacity in entries. 0 disables
+	// the cache; DefaultConfig uses 256.
+	CacheSize int
+	// SyncRouters is the size threshold of POST /v1/solve in auto mode:
+	// instances with more routers than this are answered with an async
+	// job handle instead of a blocking solve. 0 selects 128.
+	SyncRouters int
+	// MaxRouters and MaxClients reject oversized instances outright
+	// (413). Zeros select 4096 and 262144.
+	MaxRouters int
+	MaxClients int
+	// MaxPendingJobs bounds the queued + running async backlog; further
+	// async requests are rejected with 429 until jobs drain. 0 selects
+	// 256.
+	MaxPendingJobs int
+	// Eval configures the objective used for every solve. The zero value
+	// is the paper's model.
+	Eval wmn.EvalOptions
+}
+
+// DefaultConfig returns the serving defaults used by `wmnplace serve`.
+func DefaultConfig() Config {
+	return Config{CacheSize: 256}
+}
+
+func (c Config) withDefaults() Config {
+	if c.SyncRouters == 0 {
+		c.SyncRouters = 128
+	}
+	if c.MaxRouters == 0 {
+		c.MaxRouters = 4096
+	}
+	if c.MaxClients == 0 {
+		c.MaxClients = 262144
+	}
+	if c.MaxPendingJobs == 0 {
+		c.MaxPendingJobs = 256
+	}
+	return c
+}
+
+// Server is the placement service: an http.Handler wiring the solver
+// registry, the result cache and the async job queue together. Create one
+// with New and release its worker pool with Close.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	pool  *experiments.Pool
+	jobs  *jobQueue
+	mux   *http.ServeMux
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheSize),
+		pool:  experiments.NewPool(cfg.Workers),
+	}
+	s.jobs = newJobQueue(s.pool, cfg.MaxPendingJobs)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the async job pool. The server must not receive requests
+// afterwards.
+func (s *Server) Close() { s.pool.Close() }
+
+// Cache exposes the result cache (for stats and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Solver is a spec string, e.g. "ga:init=HotSpot,generations=800,pop=64"
+	// or just "search" for all-default parameters.
+	Solver Spec `json:"solver"`
+	// Seed drives every random stream of the solve; identical requests
+	// with identical seeds return byte-identical results.
+	Seed uint64 `json:"seed"`
+	// Instance embeds the problem to solve; Generate asks the server to
+	// generate one instead. Exactly one of the two must be set.
+	Instance *wmn.Instance  `json:"instance,omitempty"`
+	Generate *wmn.GenConfig `json:"generate,omitempty"`
+	// Mode selects the execution path: "auto" (default — synchronous up
+	// to the server's router threshold, async job handle above), "sync"
+	// or "async".
+	Mode string `json:"mode,omitempty"`
+}
+
+// SolveResult is the payload of a completed solve: the 200 body of a
+// synchronous POST /v1/solve and the "result" field of a finished job.
+type SolveResult struct {
+	Solver       Spec         `json:"solver"`
+	Seed         uint64       `json:"seed"`
+	Instance     string       `json:"instance"`
+	InstanceHash string       `json:"instanceHash"`
+	Metrics      wmn.Metrics  `json:"metrics"`
+	Solution     wmn.Solution `json:"solution"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode cannot fail on the plain structs served here; a broken
+	// connection surfaces at the transport layer instead.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.pool.Workers(),
+		"jobs":    s.jobs.len(),
+		"pending": s.jobs.pendingCount(),
+		"cache":   s.cache.Stats(),
+	})
+}
+
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Catalog())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Solver.Kind() == "" {
+		writeError(w, http.StatusBadRequest, "missing solver spec (see GET /v1/solvers)")
+		return
+	}
+	// Cross-parameter constraints (e.g. anneal's endtemp ≤ starttemp)
+	// only surface when the solver is built; build it now so malformed
+	// specs are client errors, not 500s or permanently failed jobs.
+	if _, err := NewSolver(req.Solver); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	in, err := s.resolveInstance(&req)
+	if err != nil {
+		var tooBig *oversizedError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+
+	async := false
+	switch req.Mode {
+	case "", "auto":
+		async = in.NumRouters() > s.cfg.SyncRouters
+	case "sync":
+	case "async":
+		async = true
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want auto, sync or async)", req.Mode)
+		return
+	}
+
+	if async {
+		job, err := s.jobs.submit(req.Solver, req.Seed, func() ([]byte, error) {
+			payload, _, err := s.solve(in, req.Solver, req.Seed)
+			return payload, err
+		})
+		if err != nil {
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, map[string]any{"job": job})
+		return
+	}
+
+	payload, hit, err := s.solve(in, req.Solver, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "solve: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+// maxRequestBytes bounds request bodies; a 4096-router 262144-client
+// instance encodes far below this.
+const maxRequestBytes = 64 << 20
+
+// oversizedError marks instances over the hard size limits (413, not 400).
+type oversizedError struct{ msg string }
+
+func (e *oversizedError) Error() string { return e.msg }
+
+// resolveInstance produces the validated instance a request addresses.
+func (s *Server) resolveInstance(req *SolveRequest) (*wmn.Instance, error) {
+	var in *wmn.Instance
+	switch {
+	case req.Instance != nil && req.Generate != nil:
+		return nil, errors.New("request sets both instance and generate; want exactly one")
+	case req.Instance != nil:
+		if err := req.Instance.Validate(); err != nil {
+			return nil, err
+		}
+		in = req.Instance
+	case req.Generate != nil:
+		gen, err := wmn.Generate(*req.Generate)
+		if err != nil {
+			return nil, err
+		}
+		in = gen
+	default:
+		return nil, errors.New("request sets neither instance nor generate; want exactly one")
+	}
+	if n := in.NumRouters(); n > s.cfg.MaxRouters {
+		return nil, &oversizedError{msg: fmt.Sprintf("instance has %d routers, limit %d", n, s.cfg.MaxRouters)}
+	}
+	if n := in.NumClients(); n > s.cfg.MaxClients {
+		return nil, &oversizedError{msg: fmt.Sprintf("instance has %d clients, limit %d", n, s.cfg.MaxClients)}
+	}
+	return in, nil
+}
+
+// solve answers one (instance, spec, seed) triple: from the cache when
+// possible, otherwise by running the solver and caching the marshaled
+// payload. The returned bytes are the canonical response body — identical
+// requests always yield identical bytes, cached or not.
+func (s *Server) solve(in *wmn.Instance, spec Spec, seed uint64) (payload []byte, hit bool, err error) {
+	hash := HashInstance(in)
+	key := cacheKey(hash, spec, seed)
+	if b, ok := s.cache.Get(key); ok {
+		return b, true, nil
+	}
+
+	sv, err := NewSolver(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	eval, err := wmn.NewEvaluator(in, s.cfg.Eval)
+	if err != nil {
+		return nil, false, err
+	}
+	sol, metrics, err := sv.Solve(eval, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	payload, err = json.Marshal(SolveResult{
+		Solver:       spec,
+		Seed:         seed,
+		Instance:     in.Name,
+		InstanceHash: hash,
+		Metrics:      metrics,
+		Solution:     sol,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.Put(key, payload)
+	return payload, false, nil
+}

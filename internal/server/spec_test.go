@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"meshplace/internal/wmn"
+)
+
+func TestParseSpecDefaultsRoundTrip(t *testing.T) {
+	// Every registered kind parses bare, fills its full default parameter
+	// set, and round-trips through String.
+	for _, kind := range Kinds() {
+		spec, err := ParseSpec(kind)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", kind, err)
+		}
+		if spec.Kind() != kind {
+			t.Errorf("ParseSpec(%q).Kind() = %q", kind, spec.Kind())
+		}
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec.String(), err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Errorf("round trip of %q: %q != %q", kind, spec.String(), again.String())
+		}
+	}
+}
+
+func TestParseSpecCanonicalizes(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"ADHOC:Method=hotspot", "adhoc:method=HotSpot"},
+		{"adhoc", "adhoc:method=HotSpot"},
+		{" search : movement=SWAP , phases=20 ", "search:movement=swap,init=Random,phases=20,neighbors=16"},
+		{"anneal:starttemp=0.050", "anneal:movement=perturb,init=Random,steps=4096,starttemp=0.05,endtemp=0.0005"},
+		{"ga:pop=32", "ga:init=HotSpot,generations=800,pop=32"},
+		{"tabu:tenure=4,init=near", "tabu:movement=swap,init=Near,phases=64,neighbors=32,tenure=4"},
+		{"hillclimb:steps=100", "hillclimb:movement=perturb,init=Random,steps=100,noimprove=256"},
+	}
+	for _, tt := range tests {
+		spec, err := ParseSpec(tt.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tt.in, err)
+			continue
+		}
+		if got := spec.String(); got != tt.want {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	tests := []struct{ name, in string }{
+		{"empty", ""},
+		{"unknown kind", "quantum"},
+		{"unknown parameter", "adhoc:speed=9"},
+		{"malformed parameter", "search:phases"},
+		{"duplicate parameter", "search:phases=3,phases=4"},
+		{"non-integer", "search:phases=many"},
+		{"zero budget", "search:phases=0"},
+		{"negative budget", "ga:generations=-5"},
+		{"unknown method", "adhoc:method=Square"},
+		{"unknown movement", "search:movement=teleport"},
+		{"non-positive temperature", "anneal:starttemp=-1"},
+		{"NaN temperature", "anneal:starttemp=NaN"},
+		{"infinite temperature", "anneal:endtemp=+Inf"},
+		{"tiny population", "ga:pop=2"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseSpec(tt.in); err == nil {
+				t.Errorf("ParseSpec(%q) accepted", tt.in)
+			}
+		})
+	}
+}
+
+func TestSpecBuildErrorInvertedTemperatures(t *testing.T) {
+	// Per-parameter checks pass (both temperatures positive) but the
+	// cross-field constraint fails at build time.
+	spec, err := ParseSpec("anneal:starttemp=0.001,endtemp=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSolver(spec); err == nil {
+		t.Error("NewSolver accepted an inverted temperature range")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec, err := ParseSpec("ga:pop=16,generations=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Errorf("JSON round trip: %q != %q", spec.String(), back.String())
+	}
+	if err := json.Unmarshal([]byte(`"warp"`), &back); err == nil {
+		t.Error("unmarshal accepted an unknown solver")
+	}
+}
+
+func TestCatalogCoversAllKinds(t *testing.T) {
+	infos := Catalog()
+	if len(infos) != len(Kinds()) {
+		t.Fatalf("catalog has %d entries for %d kinds", len(infos), len(Kinds()))
+	}
+	for i, kind := range Kinds() {
+		if infos[i].Kind != kind {
+			t.Errorf("catalog[%d].Kind = %q, want %q", i, infos[i].Kind, kind)
+		}
+		if spec, err := ParseSpec(infos[i].Spec); err != nil || spec.String() != infos[i].Spec {
+			t.Errorf("catalog[%d].Spec %q is not canonical (err %v)", i, infos[i].Spec, err)
+		}
+	}
+}
+
+// testInstance is a small, fast instance shared by the solver and handler
+// tests.
+func testInstance(t *testing.T) *wmn.Instance {
+	t.Helper()
+	cfg := wmn.DefaultGenConfig()
+	cfg.Name = "server-test"
+	cfg.Width, cfg.Height = 32, 32
+	cfg.NumRouters = 12
+	cfg.NumClients = 24
+	cfg.Seed = 7
+	in, err := wmn.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// quickSpecs returns a cheap configuration of every solver kind.
+func quickSpecs(t *testing.T) []Spec {
+	t.Helper()
+	texts := []string{
+		"adhoc:method=Near",
+		"search:movement=swap,phases=4,neighbors=4",
+		"hillclimb:movement=perturb,steps=32,noimprove=8",
+		"anneal:movement=perturb,steps=32",
+		"tabu:movement=random,phases=4,neighbors=4,tenure=2",
+		"ga:init=HotSpot,generations=5,pop=8",
+	}
+	specs := make([]Spec, len(texts))
+	for i, text := range texts {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = spec
+	}
+	return specs
+}
+
+func TestEverySolverSolvesDeterministically(t *testing.T) {
+	in := testInstance(t)
+	eval, err := wmn.NewEvaluator(in, wmn.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range quickSpecs(t) {
+		t.Run(spec.Kind(), func(t *testing.T) {
+			sv, err := NewSolver(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, metrics, err := sv.Solve(eval, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sol.Validate(in); err != nil {
+				t.Fatalf("solution invalid: %v", err)
+			}
+			if metrics.GiantSize < 1 {
+				t.Errorf("giant component %d < 1", metrics.GiantSize)
+			}
+			// Same seed, fresh solver: identical solution.
+			sv2, err := NewSolver(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol2, metrics2, err := sv2.Solve(eval, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sol, sol2) || metrics != metrics2 {
+				t.Error("same (instance, spec, seed) produced different results")
+			}
+			// Different seed: almost surely different for the stochastic
+			// solvers; only check it still validates.
+			if _, _, err := sv.Solve(eval, 43); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHashInstanceStability(t *testing.T) {
+	a := testInstance(t)
+	b := testInstance(t)
+	if HashInstance(a) != HashInstance(b) {
+		t.Error("identical instances hash differently")
+	}
+	c := testInstance(t)
+	c.Radii[0] += 0.25
+	if HashInstance(a) == HashInstance(c) {
+		t.Error("distinct instances collide (radius change unseen)")
+	}
+	if len(HashInstance(a)) != 16 || strings.ToLower(HashInstance(a)) != HashInstance(a) {
+		t.Errorf("hash %q is not 16 lowercase hex chars", HashInstance(a))
+	}
+}

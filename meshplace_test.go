@@ -190,3 +190,41 @@ func TestFacadeWeightsAndModels(t *testing.T) {
 		t.Errorf("default weights %+v", w)
 	}
 }
+
+func TestFacadeSolverRegistry(t *testing.T) {
+	kinds := meshplace.SolverKinds()
+	if len(kinds) != 6 {
+		t.Fatalf("registry lists %d kinds, want 6: %v", len(kinds), kinds)
+	}
+	if len(meshplace.SolverCatalog()) != len(kinds) {
+		t.Error("catalog size != kind count")
+	}
+
+	inst := facadeInstance(t)
+	spec, err := meshplace.ParseSolverSpec("search:movement=swap,phases=4,neighbors=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err := meshplace.ParseSolverSpec(spec.String()); err != nil || again.String() != spec.String() {
+		t.Errorf("spec %q does not round-trip (err %v)", spec, err)
+	}
+	sol, metrics, err := meshplace.Solve(spec, inst, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+	sol2, metrics2, err := meshplace.Solve(spec, inst, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics != metrics2 || len(sol.Positions) != len(sol2.Positions) {
+		t.Error("Solve not deterministic in (instance, spec, seed)")
+	}
+	for i := range sol.Positions {
+		if sol.Positions[i] != sol2.Positions[i] {
+			t.Fatalf("router %d moved between identical solves", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package meshplace
+
+import (
+	"meshplace/internal/server"
+	"meshplace/internal/wmn"
+)
+
+// Placement-as-a-service types (see the server documentation for full
+// semantics). The solver registry unifies every method of the library —
+// the seven ad hoc placements, the neighborhood search with its
+// hill-climbing / annealing / tabu extensions, and the GA — behind one
+// interface addressable by string spec.
+type (
+	// SolverSpec addresses one solver configuration by kind and
+	// parameters; specs round-trip through strings like DistSpec does.
+	SolverSpec = server.Spec
+	// Solver is the unified solving interface; obtain one with NewSolver.
+	Solver = server.Solver
+	// SolverInfo documents one registry entry (kind, parameters,
+	// defaults).
+	SolverInfo = server.SolverInfo
+	// ServerConfig parameterizes NewServer (workers, cache size, sync
+	// threshold, instance limits).
+	ServerConfig = server.Config
+	// Server is the HTTP placement service; it implements http.Handler.
+	Server = server.Server
+	// SolveJob is the JSON view of an async solve job.
+	SolveJob = server.JobView
+	// SolveResultPayload is the JSON payload of a completed solve.
+	SolveResultPayload = server.SolveResult
+)
+
+// ParseSolverSpec parses the solver-spec syntax, e.g. "adhoc:method=Near",
+// "search:movement=swap,phases=61,neighbors=16,init=Random" or
+// "ga:init=HotSpot,generations=800,pop=64". Omitted parameters take the
+// registered defaults; ParseSolverSpec(spec.String()) reproduces spec.
+func ParseSolverSpec(text string) (SolverSpec, error) { return server.ParseSpec(text) }
+
+// SolverKinds lists the registered solver kinds in registration order.
+func SolverKinds() []string { return server.Kinds() }
+
+// SolverCatalog documents every registered solver kind with its
+// parameters and defaults — the data behind GET /v1/solvers.
+func SolverCatalog() []SolverInfo { return server.Catalog() }
+
+// NewSolver builds the solver a spec addresses.
+func NewSolver(spec SolverSpec) (Solver, error) { return server.NewSolver(spec) }
+
+// Solve runs one solver spec on an instance under the paper's default
+// evaluation model, deriving all randomness from seed. Identical
+// (instance, spec, seed) triples yield identical solutions on every
+// platform.
+func Solve(spec SolverSpec, in *Instance, seed uint64) (Solution, Metrics, error) {
+	sv, err := server.NewSolver(spec)
+	if err != nil {
+		return Solution{}, Metrics{}, err
+	}
+	eval, err := wmn.NewEvaluator(in, wmn.EvalOptions{})
+	if err != nil {
+		return Solution{}, Metrics{}, err
+	}
+	return sv.Solve(eval, seed)
+}
+
+// DefaultServerConfig returns the serving defaults used by
+// `wmnplace serve`.
+func DefaultServerConfig() ServerConfig { return server.DefaultConfig() }
+
+// NewServer constructs the HTTP placement service: POST /v1/solve (sync or
+// async by instance size), GET /v1/jobs/{id}, GET /v1/solvers and
+// GET /healthz. Call Close to release its worker pool.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
