@@ -5,11 +5,11 @@ GO ?= go
 
 ci: vet build race
 
-# The explicit second vet keeps the serving layer in the gate even if the
-# ./... pattern is ever narrowed.
+# The explicit second vet keeps the serving and scenario layers in the
+# gate even if the ./... pattern is ever narrowed.
 vet:
 	$(GO) vet ./...
-	$(GO) vet ./internal/server
+	$(GO) vet ./internal/server ./internal/scenarios
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,10 @@ race:
 	$(GO) test -race ./...
 
 # Benchmarks only (includes the worker-pool scaling benchmark in
-# internal/experiments). The test2json event stream is written to
-# BENCH_PR2.json so the perf trajectory is recorded per PR and can be
+# internal/experiments and the corpus/suite benchmarks in
+# internal/scenarios). The test2json event stream is written to
+# BENCH_PR3.json so the perf trajectory is recorded per PR and can be
 # diffed across commits.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 3x -json ./... > BENCH_PR2.json
-	@echo "wrote BENCH_PR2.json ($$(wc -l < BENCH_PR2.json) events)"
+	$(GO) test -run '^$$' -bench . -benchtime 3x -json ./... > BENCH_PR3.json
+	@echo "wrote BENCH_PR3.json ($$(wc -l < BENCH_PR3.json) events)"

@@ -11,6 +11,7 @@
 //	wmnplace ga         [flags]   run the GA from an ad hoc initializer
 //	wmnplace analyze    [flags]   map, per-router report and robustness sweep
 //	wmnplace experiment [flags] <table1|table2|table3|fig1|fig2|fig3|fig4|all>
+//	wmnplace suite      [flags]   sweep solvers over the scenario corpus (see internal/scenarios)
 //	wmnplace serve      [flags]   serve placement requests over HTTP (see internal/server)
 //
 // Run "wmnplace <command> -h" for the flags of each command.
@@ -30,7 +31,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing command; want instance, place, search, ga, analyze, experiment or serve")
+		return fmt.Errorf("missing command; want instance, place, search, ga, analyze, experiment, suite or serve")
 	}
 	switch args[0] {
 	case "instance":
@@ -45,12 +46,14 @@ func run(args []string) error {
 		return runAnalyze(args[1:])
 	case "experiment":
 		return runExperiment(args[1:])
+	case "suite":
+		return runSuite(args[1:])
 	case "serve":
 		return runServe(args[1:])
 	case "-h", "--help", "help":
-		fmt.Println("commands: instance, place, search, ga, analyze, experiment, serve")
+		fmt.Println("commands: instance, place, search, ga, analyze, experiment, suite, serve")
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q; want instance, place, search, ga, analyze, experiment or serve", args[0])
+		return fmt.Errorf("unknown command %q; want instance, place, search, ga, analyze, experiment, suite or serve", args[0])
 	}
 }

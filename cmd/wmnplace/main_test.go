@@ -118,6 +118,39 @@ func TestExperimentUnknownID(t *testing.T) {
 	}
 }
 
+func TestSuiteCommand(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	args := []string{
+		"suite", "-scale", "half", "-workers", "2", "-seed", "3",
+		"-methods", "adhoc:method=HotSpot;search:phases=2,neighbors=2", "-json", out,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !strings.Contains(string(data), "v1-half-ring") {
+		t.Error("report JSON does not cover the ring scenario")
+	}
+}
+
+func TestSuiteCommandErrors(t *testing.T) {
+	if err := run([]string{"suite", "-corpus", "v999"}); err == nil {
+		t.Error("unknown corpus accepted")
+	}
+	if err := run([]string{"suite", "-scale", "giant"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"suite", "-methods", "warp:speed=9"}); err == nil {
+		t.Error("unknown solver spec accepted")
+	}
+	if err := run([]string{"suite", "-methods", " ; "}); err == nil {
+		t.Error("empty methods list accepted (would sweep everything)")
+	}
+}
+
 func TestSolutionSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	instFile := filepath.Join(dir, "inst.json")

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"meshplace/internal/scenarios"
+	"meshplace/internal/server"
+)
+
+// runSuite sweeps solver specs over the versioned scenario corpus — every
+// client layout (including the hotspots, ring and trace extensions) across
+// the three benchmark-family scales — and prints a per-(scenario, solver)
+// report with a determinism fingerprint. The fingerprint is identical at
+// any -workers value; that invariance is pinned by tests.
+func runSuite(args []string) error {
+	fs := flag.NewFlagSet("suite", flag.ContinueOnError)
+	corpus := fs.String("corpus", scenarios.Version, "corpus version to run")
+	methods := fs.String("methods", "all",
+		`solver specs to sweep, ';'-separated (e.g. "adhoc:method=Near;ga:pop=32"), or "all" for every registered kind's default`)
+	scale := fs.String("scale", "all", "restrict to one corpus scale: half, base, double or all")
+	workers := fs.Int("workers", 0, "concurrent solves (0 = one per CPU)")
+	seed := fs.Uint64("seed", 1, "corpus and solve seed")
+	jsonOut := fs.String("json", "", "also write the report as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corpus != scenarios.Version {
+		return fmt.Errorf("unknown corpus %q (this build ships %s)", *corpus, scenarios.Version)
+	}
+
+	var specs []server.Spec
+	if *methods != "all" {
+		for _, text := range strings.Split(*methods, ";") {
+			if strings.TrimSpace(text) == "" {
+				continue
+			}
+			spec, err := server.ParseSpec(text)
+			if err != nil {
+				return err
+			}
+			specs = append(specs, spec)
+		}
+		// An empty list would silently fall back to the full registry
+		// sweep — an expensive surprise for a mistyped flag.
+		if len(specs) == 0 {
+			return fmt.Errorf(`-methods %q names no solver specs (want "all" or ';'-separated specs)`, *methods)
+		}
+	}
+
+	scs := scenarios.Corpus(*seed)
+	if *scale != "all" {
+		if scs = scenarios.Filter(scs, *scale); len(scs) == 0 {
+			return fmt.Errorf("unknown scale %q (want half, base, double or all)", *scale)
+		}
+	}
+
+	report, err := server.RunSuite(specs, scs, scenarios.SuiteConfig{Seed: *seed, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	report.Render(os.Stdout)
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return fmt.Errorf("encode report: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 // Package dist describes and samples the client-position distributions of
-// the paper's benchmark of generated instances (§5.1): Uniform, Normal,
-// Exponential and Weibull.
+// the paper's benchmark of generated instances (§5.1) — Uniform, Normal,
+// Exponential and Weibull — plus three layouts beyond the paper: Hotspots
+// (a weighted mixture of Gaussian hotspots), Ring (an annulus band) and
+// Trace (empirical positions replayed from a point file or a registered
+// in-memory trace).
 //
 // A distribution is described by a Spec — a small, comparable,
 // JSON-serializable value that round-trips through its String form (see
@@ -13,24 +16,44 @@ package dist
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"meshplace/internal/geom"
 	"meshplace/internal/rng"
 )
 
-// Kind identifies one of the four client distributions of §5.1.
+// Kind identifies one client distribution.
 type Kind string
 
-// The four distributions of the paper's benchmark setup.
+// The four distributions of the paper's benchmark setup, followed by the
+// extended layouts.
 const (
 	Uniform     Kind = "uniform"
 	Normal      Kind = "normal"
 	Exponential Kind = "exponential"
 	Weibull     Kind = "weibull"
+	// Hotspots mixes up to MaxHotspots Gaussian hotspots with individual
+	// centers, sigmas and weights — the multi-modal generalization of
+	// Normal.
+	Hotspots Kind = "hotspots"
+	// Ring spreads clients uniformly over an annulus band, modeling
+	// corridor and rural ring topologies the paper's layouts cannot
+	// express.
+	Ring Kind = "ring"
+	// Trace replays empirical positions from a JSON point file (or an
+	// in-memory trace registered with RegisterTrace), drawn with
+	// replacement.
+	Trace Kind = "trace"
 )
 
-// Kinds returns the four distribution kinds in the paper's order.
+// Kinds returns every distribution kind: the paper's four first, in the
+// paper's order, then the extended layouts.
 func Kinds() []Kind {
+	return []Kind{Uniform, Normal, Exponential, Weibull, Hotspots, Ring, Trace}
+}
+
+// PaperKinds returns only the four distributions of the paper's §5.1.
+func PaperKinds() []Kind {
 	return []Kind{Uniform, Normal, Exponential, Weibull}
 }
 
@@ -56,6 +79,37 @@ type Spec struct {
 	// area's origin corner.
 	Shape float64 `json:"shape,omitempty"`
 	Scale float64 `json:"scale,omitempty"`
+	// NumHotspots and Hotspots parameterize the Hotspots mixture: the
+	// first NumHotspots array entries are the active hotspots, the rest
+	// stay zero so that specs remain canonical under ==. The fixed-size
+	// array (rather than a slice) keeps Spec a comparable value.
+	NumHotspots int                  `json:"-"`
+	Hotspots    [MaxHotspots]Hotspot `json:"-"`
+	// CenterX, CenterY, Inner and Outer parameterize Ring: clients spread
+	// uniformly over the annulus between the Inner and Outer radii around
+	// (CenterX, CenterY).
+	CenterX float64 `json:"centerX,omitempty"`
+	CenterY float64 `json:"centerY,omitempty"`
+	Inner   float64 `json:"inner,omitempty"`
+	Outer   float64 `json:"outer,omitempty"`
+	// Path parameterizes Trace: a registered trace name (see
+	// RegisterTrace) or the path of a JSON point file.
+	Path string `json:"path,omitempty"`
+}
+
+// MaxHotspots bounds the number of hotspots a Hotspots spec can carry. The
+// fixed bound is what keeps Spec comparable; eight modes cover every
+// multi-modal layout of the related placement benchmarks.
+const MaxHotspots = 8
+
+// Hotspot is one mode of the Hotspots mixture: a Gaussian cluster around
+// (X, Y) with per-coordinate standard deviation Sigma, selected with
+// probability proportional to Weight.
+type Hotspot struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Sigma  float64 `json:"sigma"`
+	Weight float64 `json:"weight"`
 }
 
 // UniformSpec describes clients spread uniformly over the whole area.
@@ -76,6 +130,30 @@ func ExponentialSpec(mean float64) Spec { return Spec{Kind: Exponential, Mean: m
 func WeibullSpec(shape, scale float64) Spec {
 	return Spec{Kind: Weibull, Shape: shape, Scale: scale}
 }
+
+// HotspotsSpec describes clients drawn from a weighted mixture of Gaussian
+// hotspots. Weights are kept as given (they need not sum to one; selection
+// normalizes on the fly), so specs round-trip exactly through String and
+// JSON. More than MaxHotspots hotspots cannot be represented; the true
+// count is recorded so Validate can reject the overflow.
+func HotspotsSpec(hotspots ...Hotspot) Spec {
+	s := Spec{Kind: Hotspots, NumHotspots: len(hotspots)}
+	copy(s.Hotspots[:], hotspots)
+	return s
+}
+
+// RingSpec describes clients spread uniformly over the annulus between the
+// inner and outer radii around (centerX, centerY). A zero inner radius
+// degenerates to a uniform disk.
+func RingSpec(centerX, centerY, inner, outer float64) Spec {
+	return Spec{Kind: Ring, CenterX: centerX, CenterY: centerY, Inner: inner, Outer: outer}
+}
+
+// TraceSpec describes clients replayed from the named trace: a trace
+// registered with RegisterTrace, or the path of a JSON point file (an
+// array of {"x":..,"y":..} objects). Positions are drawn from the trace
+// with replacement.
+func TraceSpec(path string) Spec { return Spec{Kind: Trace, Path: path} }
 
 // Validate checks that the spec describes a usable distribution. All
 // parameters must be finite (ParseFloat accepts "NaN" and "Inf", and a
@@ -102,11 +180,70 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("dist: weibull shape %g and scale %g must be positive and finite", s.Shape, s.Scale)
 		}
 		return nil
+	case Hotspots:
+		return s.validateHotspots()
+	case Ring:
+		if !finite(s.CenterX) || !finite(s.CenterY) {
+			return fmt.Errorf("dist: ring center (%g, %g) must be finite", s.CenterX, s.CenterY)
+		}
+		if s.Inner < 0 || !finite(s.Inner) {
+			return fmt.Errorf("dist: ring inner radius %g must be non-negative and finite", s.Inner)
+		}
+		if !positiveFinite(s.Outer) || s.Outer <= s.Inner {
+			return fmt.Errorf("dist: ring outer radius %g must be finite and exceed inner radius %g", s.Outer, s.Inner)
+		}
+		return nil
+	case Trace:
+		if s.Path == "" {
+			return fmt.Errorf("dist: trace spec has no point file or registered trace name")
+		}
+		// The String syntax splits parameters on commas and trims value
+		// whitespace, so paths violating either could not round-trip.
+		if s.Path != strings.TrimSpace(s.Path) || strings.Contains(s.Path, ",") {
+			return fmt.Errorf("dist: trace path %q must not contain commas or leading/trailing whitespace", s.Path)
+		}
+		return nil
 	case "":
 		return fmt.Errorf("dist: spec has no distribution kind")
 	default:
 		return fmt.Errorf("dist: unknown distribution kind %q", s.Kind)
 	}
+}
+
+// validateHotspots checks the Hotspots mixture: between one and
+// MaxHotspots active hotspots with finite centers and positive sigma and
+// weight, unused array slots zero (the canonical form == relies on), and a
+// finite total weight.
+func (s Spec) validateHotspots() error {
+	if s.NumHotspots < 1 {
+		return fmt.Errorf("dist: hotspots spec needs at least one hotspot, got %d", s.NumHotspots)
+	}
+	if s.NumHotspots > MaxHotspots {
+		return fmt.Errorf("dist: hotspots spec has %d hotspots, limit %d", s.NumHotspots, MaxHotspots)
+	}
+	total := 0.0
+	for i, h := range s.Hotspots {
+		if i >= s.NumHotspots {
+			if h != (Hotspot{}) {
+				return fmt.Errorf("dist: hotspots spec declares %d hotspots but slot %d is non-zero", s.NumHotspots, i)
+			}
+			continue
+		}
+		if !finite(h.X) || !finite(h.Y) {
+			return fmt.Errorf("dist: hotspot %d center (%g, %g) must be finite", i, h.X, h.Y)
+		}
+		if !positiveFinite(h.Sigma) {
+			return fmt.Errorf("dist: hotspot %d sigma %g must be positive and finite", i, h.Sigma)
+		}
+		if !positiveFinite(h.Weight) {
+			return fmt.Errorf("dist: hotspot %d weight %g must be positive and finite", i, h.Weight)
+		}
+		total += h.Weight
+	}
+	if !finite(total) {
+		return fmt.Errorf("dist: hotspot weights sum to %g; must stay finite", total)
+	}
+	return nil
 }
 
 // finite reports whether v is neither NaN nor infinite.
@@ -145,6 +282,22 @@ func (s Spec) Build(area geom.Rect) (Sampler, error) {
 		return normalSampler{area: area, meanX: s.MeanX, meanY: s.MeanY, sigma: s.Sigma}, nil
 	case Exponential:
 		return exponentialSampler{area: area, mean: s.Mean}, nil
+	case Hotspots:
+		hs := make([]Hotspot, s.NumHotspots)
+		copy(hs, s.Hotspots[:s.NumHotspots])
+		total := 0.0
+		for _, h := range hs {
+			total += h.Weight
+		}
+		return hotspotsSampler{area: area, hotspots: hs, totalWeight: total}, nil
+	case Ring:
+		return ringSampler{area: area, center: geom.Pt(s.CenterX, s.CenterY), inner: s.Inner, outer: s.Outer}, nil
+	case Trace:
+		pts, err := tracePoints(s.Path)
+		if err != nil {
+			return nil, err
+		}
+		return traceSampler{area: area, points: pts}, nil
 	default: // Weibull; Validate rejected everything else.
 		return weibullSampler{area: area, shape: s.Shape, scale: s.Scale}, nil
 	}
@@ -157,18 +310,35 @@ func (s Spec) Build(area geom.Rect) (Sampler, error) {
 // (e.g. a Normal centered far outside a tiny area).
 const maxResample = 64
 
+// maxExhausted bounds the total resampling work a degenerate sampler can
+// cost. After this many consecutive points exhausted their full rejection
+// budget without a single in-area draw, the sampler almost surely never
+// lands in the area (e.g. a Trace whose points all lie outside it); Points
+// then stops resampling and clamps each remaining draw directly, so a
+// pathological spec costs O(n) draws instead of O(maxResample·n).
+const maxExhausted = 8
+
 // Points draws n client positions from the sampler, guaranteed to lie in
 // the sampler's deployment area: out-of-area draws are rejected and
-// resampled, with a clamp to the area as the final fallback. The result
-// depends only on the sampler and the generator's stream, so deriving the
-// generator from a seed (rng.DeriveString) makes point sets reproducible.
+// resampled, with a clamp to the area border as the bounded-attempts
+// fallback. The result depends only on the sampler and the generator's
+// stream, so deriving the generator from a seed (rng.DeriveString) makes
+// point sets reproducible.
 func Points(s Sampler, r *rng.Rand, n int) []geom.Point {
 	area := s.Area()
 	pts := make([]geom.Point, n)
+	exhausted := 0
 	for i := range pts {
 		p := s.Sample(r)
-		for try := 0; try < maxResample && !area.Contains(p); try++ {
-			p = s.Sample(r)
+		if exhausted < maxExhausted {
+			for try := 0; try < maxResample && !area.Contains(p); try++ {
+				p = s.Sample(r)
+			}
+			if area.Contains(p) {
+				exhausted = 0
+			} else {
+				exhausted++
+			}
 		}
 		pts[i] = area.Clamp(p)
 	}
@@ -234,4 +404,66 @@ func (s weibullSampler) Sample(r *rng.Rand) geom.Point {
 // for U uniform in [0,1).
 func (s weibullSampler) weibull(r *rng.Rand) float64 {
 	return s.scale * math.Pow(-math.Log1p(-r.Float64()), 1/s.shape)
+}
+
+type hotspotsSampler struct {
+	area        geom.Rect
+	hotspots    []Hotspot
+	totalWeight float64
+}
+
+func (s hotspotsSampler) Area() geom.Rect { return s.area }
+
+// Sample picks one hotspot with probability proportional to its weight,
+// then draws a Gaussian point around it. The draw order (one uniform for
+// the selection, two normals for the point) is fixed so identical rng
+// streams always yield identical points.
+func (s hotspotsSampler) Sample(r *rng.Rand) geom.Point {
+	h := s.hotspots[len(s.hotspots)-1]
+	u := r.Float64() * s.totalWeight
+	for _, cand := range s.hotspots {
+		if u < cand.Weight {
+			h = cand
+			break
+		}
+		u -= cand.Weight
+	}
+	return geom.Pt(
+		h.X+h.Sigma*r.NormFloat64(),
+		h.Y+h.Sigma*r.NormFloat64(),
+	)
+}
+
+type ringSampler struct {
+	area         geom.Rect
+	center       geom.Point
+	inner, outer float64
+}
+
+func (s ringSampler) Area() geom.Rect { return s.area }
+
+// Sample draws uniformly over the annulus by inverting the radial CDF:
+// r = sqrt(inner² + U·(outer²−inner²)) keeps the density constant per unit
+// area rather than per unit radius.
+func (s ringSampler) Sample(r *rng.Rand) geom.Point {
+	theta := 2 * math.Pi * r.Float64()
+	radius := math.Sqrt(s.inner*s.inner + r.Float64()*(s.outer*s.outer-s.inner*s.inner))
+	return geom.Pt(
+		s.center.X+radius*math.Cos(theta),
+		s.center.Y+radius*math.Sin(theta),
+	)
+}
+
+type traceSampler struct {
+	area   geom.Rect
+	points []geom.Point
+}
+
+func (s traceSampler) Area() geom.Rect { return s.area }
+
+// Sample replays one trace position drawn with replacement. Out-of-area
+// trace points are handled by Points like any other draw (rejection, then
+// clamp).
+func (s traceSampler) Sample(r *rng.Rand) geom.Point {
+	return s.points[r.IntN(len(s.points))]
 }

@@ -223,7 +223,7 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 }
 
 func TestKinds(t *testing.T) {
-	want := []Kind{Uniform, Normal, Exponential, Weibull}
+	want := []Kind{Uniform, Normal, Exponential, Weibull, Hotspots, Ring, Trace}
 	got := Kinds()
 	if len(got) != len(want) {
 		t.Fatalf("Kinds() = %v", got)
@@ -231,6 +231,15 @@ func TestKinds(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("Kinds()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	paper := PaperKinds()
+	if len(paper) != 4 {
+		t.Fatalf("PaperKinds() = %v", paper)
+	}
+	for i, k := range paper {
+		if k != want[i] {
+			t.Errorf("PaperKinds()[%d] = %v, want %v", i, k, want[i])
 		}
 	}
 }

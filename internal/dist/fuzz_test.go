@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec pins two properties of the spec grammar for arbitrary
+// input: ParseSpec never panics, and every accepted input round-trips
+// stably — the parsed spec validates, renders, re-parses, and the re-parse
+// reproduces it exactly (String is a canonical form).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		// One well-formed spec per kind, including the extended layouts.
+		"uniform",
+		"normal:mx=64,my=64,sigma=12.8",
+		"exponential:mean=32",
+		"weibull:shape=1.8,scale=36",
+		"hotspots:x1=32,y1=32,s1=8,w1=1",
+		"hotspots:x1=32,y1=32,s1=8,w1=2,x2=96,y2=96,s2=12,w2=1",
+		"ring:cx=64,cy=64,inner=16,outer=32",
+		"ring:cx=0,cy=0,inner=0,outer=40",
+		"trace:file=points.json",
+		"trace:file=mem:scenarios/v1/base",
+		// Near-miss and hostile shapes.
+		"",
+		":",
+		"uniform:mean=3",
+		"normal:mx=1,my=2",
+		"normal:mx=NaN,my=2,sigma=3",
+		"hotspots:x0=1,y0=1,s0=1,w0=1",
+		"hotspots:x1=1,x01=2,y1=1,s1=1,w1=1",
+		"ring:cx=64,cy=64,inner=32,outer=16",
+		"trace:file=",
+		"trace:file=a,b",
+		"exponential:mean=1e-400",
+		"weibull:shape=+Inf,scale=36",
+		"normal:mx=-0,my=0.1,sigma=5e-324",
+		"  WEIBULL : shape = 1.8 , scale = 36  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseSpec(%q) returned invalid spec %#v: %v", text, spec, err)
+		}
+		rendered := spec.String()
+		back, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("String %q of ParseSpec(%q) does not re-parse: %v", rendered, text, err)
+		}
+		if back != spec {
+			t.Fatalf("round trip changed ParseSpec(%q) = %#v to %#v (via %q)", text, spec, back, rendered)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String is not a fixed point: %q then %q", rendered, again)
+		}
+	})
+}

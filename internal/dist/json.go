@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// specJSON is the wire form of Spec. It exists because the in-memory Spec
+// stores hotspots in a fixed-size array (to stay comparable) while the
+// canonical JSON wants a list trimmed to the active hotspots; every other
+// field mirrors Spec's tags exactly, so the JSON of the paper's four kinds
+// is byte-identical to what the plain struct encoding produced.
+type specJSON struct {
+	Kind     Kind      `json:"kind,omitempty"`
+	MeanX    float64   `json:"meanX,omitempty"`
+	MeanY    float64   `json:"meanY,omitempty"`
+	Sigma    float64   `json:"sigma,omitempty"`
+	Mean     float64   `json:"mean,omitempty"`
+	Shape    float64   `json:"shape,omitempty"`
+	Scale    float64   `json:"scale,omitempty"`
+	Hotspots []Hotspot `json:"hotspots,omitempty"`
+	CenterX  float64   `json:"centerX,omitempty"`
+	CenterY  float64   `json:"centerY,omitempty"`
+	Inner    float64   `json:"inner,omitempty"`
+	Outer    float64   `json:"outer,omitempty"`
+	Path     string    `json:"path,omitempty"`
+}
+
+// MarshalJSON encodes the spec with the hotspot array trimmed to its
+// active entries, so the JSON stays canonical (equal specs encode to equal
+// bytes, and unused slots never appear on the wire).
+func (s Spec) MarshalJSON() ([]byte, error) {
+	j := specJSON{
+		Kind:    s.Kind,
+		MeanX:   s.MeanX,
+		MeanY:   s.MeanY,
+		Sigma:   s.Sigma,
+		Mean:    s.Mean,
+		Shape:   s.Shape,
+		Scale:   s.Scale,
+		CenterX: s.CenterX,
+		CenterY: s.CenterY,
+		Inner:   s.Inner,
+		Outer:   s.Outer,
+		Path:    s.Path,
+	}
+	if n := s.NumHotspots; n > 0 {
+		if n > MaxHotspots {
+			n = MaxHotspots
+		}
+		j.Hotspots = append([]Hotspot(nil), s.Hotspots[:n]...)
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the wire form back into the comparable Spec,
+// rejecting hotspot lists beyond MaxHotspots (they could not round-trip).
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var j specJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Hotspots) > MaxHotspots {
+		return fmt.Errorf("dist: spec carries %d hotspots, limit %d", len(j.Hotspots), MaxHotspots)
+	}
+	*s = Spec{
+		Kind:        j.Kind,
+		MeanX:       j.MeanX,
+		MeanY:       j.MeanY,
+		Sigma:       j.Sigma,
+		Mean:        j.Mean,
+		Shape:       j.Shape,
+		Scale:       j.Scale,
+		NumHotspots: len(j.Hotspots),
+		CenterX:     j.CenterX,
+		CenterY:     j.CenterY,
+		Inner:       j.Inner,
+		Outer:       j.Outer,
+		Path:        j.Path,
+	}
+	copy(s.Hotspots[:], j.Hotspots)
+	return nil
+}

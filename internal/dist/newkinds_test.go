@@ -1,0 +1,328 @@
+package dist
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/rng"
+)
+
+// Statistical checks for the extended layouts, mirroring the moment tests
+// of the paper's four kinds.
+
+func TestHotspotsMoments(t *testing.T) {
+	// A single hotspot must behave exactly like a Normal with the same
+	// center and sigma.
+	pts := samplePoints(t, HotspotsSpec(Hotspot{X: 64, Y: 60, Sigma: 10, Weight: 3}),
+		geom.Area(128, 128), 11, momentSamples)
+	meanX, meanY, varX, varY := moments(pts)
+	within(t, "meanX", meanX, 64, 0.5)
+	within(t, "meanY", meanY, 60, 0.5)
+	within(t, "varX", varX, 100, 7)
+	within(t, "varY", varY, 100, 7)
+}
+
+func TestHotspotsMixtureWeights(t *testing.T) {
+	// Two well-separated hotspots with a 3:1 weight ratio: the point mass
+	// near each center must reflect the weights.
+	spec := HotspotsSpec(
+		Hotspot{X: 32, Y: 32, Sigma: 4, Weight: 3},
+		Hotspot{X: 96, Y: 96, Sigma: 4, Weight: 1},
+	)
+	pts := samplePoints(t, spec, geom.Area(128, 128), 12, momentSamples)
+	nearFirst := 0
+	for _, p := range pts {
+		if p.Dist(geom.Pt(32, 32)) < p.Dist(geom.Pt(96, 96)) {
+			nearFirst++
+		}
+	}
+	frac := float64(nearFirst) / float64(len(pts))
+	within(t, "first-hotspot fraction", frac, 0.75, 0.02)
+}
+
+func TestRingMoments(t *testing.T) {
+	// Uniform over an annulus: mean at the center, E[radius] =
+	// (2/3)(R2³−R1³)/(R2²−R1²), and no point outside the band.
+	const cx, cy, inner, outer = 64.0, 64.0, 20.0, 40.0
+	spec := RingSpec(cx, cy, inner, outer)
+	pts := samplePoints(t, spec, geom.Area(128, 128), 13, momentSamples)
+	meanX, meanY, _, _ := moments(pts)
+	within(t, "meanX", meanX, cx, 0.5)
+	within(t, "meanY", meanY, cy, 0.5)
+	meanR := 0.0
+	for _, p := range pts {
+		r := p.Dist(geom.Pt(cx, cy))
+		if r < inner-1e-9 || r > outer+1e-9 {
+			t.Fatalf("point %v at radius %g outside band [%g, %g]", p, r, inner, outer)
+		}
+		meanR += r
+	}
+	meanR /= float64(len(pts))
+	wantR := 2.0 / 3.0 * (outer*outer*outer - inner*inner*inner) / (outer*outer - inner*inner)
+	within(t, "mean radius", meanR, wantR, 0.2)
+}
+
+func TestTraceSamplerReplaysRegisteredPoints(t *testing.T) {
+	trace := []geom.Point{geom.Pt(10, 10), geom.Pt(20, 20), geom.Pt(30, 30)}
+	RegisterTrace("test/replay", trace)
+	pts := samplePoints(t, TraceSpec("test/replay"), geom.Area(64, 64), 14, 3000)
+	counts := map[geom.Point]int{}
+	for _, p := range pts {
+		counts[p]++
+	}
+	if len(counts) != len(trace) {
+		t.Fatalf("trace replay produced %d distinct points, want %d: %v", len(counts), len(trace), counts)
+	}
+	for _, src := range trace {
+		if counts[src] < 800 {
+			t.Errorf("trace point %v drawn %d times; want roughly uniform (~1000)", src, counts[src])
+		}
+	}
+}
+
+func TestTraceSamplerLoadsPointFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "points.json")
+	trace := []geom.Point{geom.Pt(1, 2), geom.Pt(3, 4)}
+	data, err := json.Marshal(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts := samplePoints(t, TraceSpec(path), geom.Area(64, 64), 15, 100)
+	for i, p := range pts {
+		if p != trace[0] && p != trace[1] {
+			t.Fatalf("point %d = %v not from the trace", i, p)
+		}
+	}
+}
+
+func TestTraceBuildErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	malformed := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(malformed, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	area := geom.Area(64, 64)
+	for name, path := range map[string]string{
+		"missing file": filepath.Join(dir, "nope.json"),
+		"empty trace":  empty,
+		"malformed":    malformed,
+	} {
+		if _, err := TraceSpec(path).Build(area); err == nil {
+			t.Errorf("%s: Build accepted %q", name, path)
+		}
+	}
+}
+
+func TestRegisterTracePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty name": func() { RegisterTrace("", []geom.Point{geom.Pt(1, 1)}) },
+		"no points":  func() { RegisterTrace("test/none", nil) },
+		"duplicate": func() {
+			RegisterTrace("test/dup", []geom.Point{geom.Pt(1, 1)})
+			RegisterTrace("test/dup", []geom.Point{geom.Pt(2, 2)})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegisterTrace did not panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Table-driven Validate coverage for the three new kinds.
+func TestNewKindsValidate(t *testing.T) {
+	okSpot := Hotspot{X: 32, Y: 32, Sigma: 8, Weight: 1}
+	overflow := make([]Hotspot, MaxHotspots+1)
+	for i := range overflow {
+		overflow[i] = okSpot
+	}
+	dirty := HotspotsSpec(okSpot)
+	dirty.Hotspots[3] = okSpot // non-zero slot past NumHotspots
+	tests := []struct {
+		name    string
+		spec    Spec
+		wantErr bool
+	}{
+		{name: "hotspots single", spec: HotspotsSpec(okSpot)},
+		{name: "hotspots max", spec: HotspotsSpec(overflow[:MaxHotspots]...)},
+		{name: "hotspots zero count", spec: HotspotsSpec(), wantErr: true},
+		{name: "hotspots overflow", spec: HotspotsSpec(overflow...), wantErr: true},
+		{name: "hotspots negative sigma", spec: HotspotsSpec(Hotspot{X: 1, Y: 1, Sigma: -2, Weight: 1}), wantErr: true},
+		{name: "hotspots zero sigma", spec: HotspotsSpec(Hotspot{X: 1, Y: 1, Weight: 1}), wantErr: true},
+		{name: "hotspots zero weight", spec: HotspotsSpec(Hotspot{X: 1, Y: 1, Sigma: 2}), wantErr: true},
+		{name: "hotspots NaN center", spec: HotspotsSpec(Hotspot{X: math.NaN(), Y: 1, Sigma: 2, Weight: 1}), wantErr: true},
+		{name: "hotspots infinite weight", spec: HotspotsSpec(Hotspot{X: 1, Y: 1, Sigma: 2, Weight: math.Inf(1)}), wantErr: true},
+		{name: "hotspots dirty tail slot", spec: dirty, wantErr: true},
+		{name: "ring", spec: RingSpec(64, 64, 16, 32)},
+		{name: "ring disk", spec: RingSpec(64, 64, 0, 32)},
+		{name: "ring negative inner", spec: RingSpec(64, 64, -1, 32), wantErr: true},
+		{name: "ring outer below inner", spec: RingSpec(64, 64, 32, 16), wantErr: true},
+		{name: "ring outer equals inner", spec: RingSpec(64, 64, 16, 16), wantErr: true},
+		{name: "ring NaN center", spec: RingSpec(math.NaN(), 64, 16, 32), wantErr: true},
+		{name: "ring infinite outer", spec: RingSpec(64, 64, 16, math.Inf(1)), wantErr: true},
+		{name: "trace", spec: TraceSpec("points.json")},
+		{name: "trace empty path", spec: TraceSpec(""), wantErr: true},
+		{name: "trace comma in path", spec: TraceSpec("a,b.json"), wantErr: true},
+		{name: "trace padded path", spec: TraceSpec(" points.json"), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewKindsJSONRoundTrip(t *testing.T) {
+	RegisterTrace("test/json-roundtrip", []geom.Point{geom.Pt(5, 5)})
+	specs := []Spec{
+		HotspotsSpec(Hotspot{X: 32, Y: 32, Sigma: 8, Weight: 2}),
+		HotspotsSpec(
+			Hotspot{X: 32, Y: 32, Sigma: 8, Weight: 2},
+			Hotspot{X: 96, Y: 80, Sigma: 12.5, Weight: 1},
+			Hotspot{X: 64, Y: 110, Sigma: 6, Weight: 0.5},
+		),
+		RingSpec(64, 64, 16, 32),
+		RingSpec(0, 0, 0, 40),
+		TraceSpec("test/json-roundtrip"),
+	}
+	for _, spec := range specs {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", spec, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("Unmarshal(%s): %v", data, err)
+		}
+		if back != spec {
+			t.Errorf("JSON round trip changed %v to %v", spec, back)
+		}
+	}
+	// Old kinds keep their exact wire shape: no new keys may appear.
+	data, err := json.Marshal(NormalSpec(64, 64, 12.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(data), `{"kind":"normal","meanX":64,"meanY":64,"sigma":12.8}`; got != want {
+		t.Errorf("normal spec JSON = %s, want %s", got, want)
+	}
+}
+
+func TestNewKindsJSONRejectsOverflow(t *testing.T) {
+	blob := `{"kind":"hotspots","hotspots":[` + strings.Repeat(`{"x":1,"y":1,"sigma":1,"weight":1},`, MaxHotspots) + `{"x":1,"y":1,"sigma":1,"weight":1}]}`
+	var s Spec
+	if err := json.Unmarshal([]byte(blob), &s); err == nil {
+		t.Error("hotspot overflow accepted")
+	}
+}
+
+func TestNewKindsPointsStayInArea(t *testing.T) {
+	RegisterTrace("test/in-area", []geom.Point{geom.Pt(100, 100), geom.Pt(5, 5)})
+	area := geom.Area(40, 30)
+	specs := []Spec{
+		HotspotsSpec(Hotspot{X: 20, Y: 15, Sigma: 12, Weight: 1}, Hotspot{X: 38, Y: 28, Sigma: 6, Weight: 2}),
+		RingSpec(20, 15, 10, 25),
+		TraceSpec("test/in-area"),
+	}
+	for _, spec := range specs {
+		pts := samplePoints(t, spec, area, 16, 2000)
+		for i, p := range pts {
+			if !area.Contains(p) {
+				t.Errorf("%v: point %d at %v outside %v", spec, i, p, area)
+				break
+			}
+		}
+	}
+}
+
+// countingSampler wraps a sampler and counts Sample calls.
+type countingSampler struct {
+	Sampler
+	calls int
+}
+
+func (c *countingSampler) Sample(r *rng.Rand) geom.Point {
+	c.calls++
+	return c.Sampler.Sample(r)
+}
+
+// The regression for the bounded-attempts fallback: a near-degenerate
+// sampler (every draw far outside a tiny area) must neither spin per point
+// nor burn the full rejection budget n times — after maxExhausted
+// consecutive exhausted points, Points clamps directly.
+func TestPointsDegenerateSamplerIsBounded(t *testing.T) {
+	area := geom.Area(10, 10)
+	spec := HotspotsSpec(Hotspot{X: 1e6, Y: 1e6, Sigma: 1, Weight: 1})
+	inner, err := spec.Build(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &countingSampler{Sampler: inner}
+	const n = 5000
+	pts := Points(cs, rng.DeriveString(17, "dist/test"), n)
+	for i, p := range pts {
+		if !area.Contains(p) {
+			t.Fatalf("point %d at %v outside %v", i, p, area)
+		}
+	}
+	// Budget: maxExhausted points at full rejection cost, one draw each
+	// for the rest.
+	limit := maxExhausted*(maxResample+1) + n
+	if cs.calls > limit {
+		t.Errorf("degenerate sampler cost %d draws for %d points, want <= %d", cs.calls, n, limit)
+	}
+	// A healthy sampler must keep the classic rejection behavior: the
+	// fast path must never engage.
+	healthy := &countingSampler{Sampler: mustBuild(t, UniformSpec(), area)}
+	Points(healthy, rng.DeriveString(18, "dist/test"), n)
+	if healthy.calls != n {
+		t.Errorf("uniform sampler cost %d draws for %d points", healthy.calls, n)
+	}
+}
+
+func mustBuild(t *testing.T, spec Spec, area geom.Rect) Sampler {
+	t.Helper()
+	s, err := spec.Build(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewKindsSeedDeterminism(t *testing.T) {
+	RegisterTrace("test/determinism", []geom.Point{geom.Pt(10, 10), geom.Pt(50, 50), geom.Pt(90, 90)})
+	area := geom.Area(128, 128)
+	for _, spec := range []Spec{
+		HotspotsSpec(Hotspot{X: 32, Y: 32, Sigma: 8, Weight: 2}, Hotspot{X: 96, Y: 96, Sigma: 12, Weight: 1}),
+		RingSpec(64, 64, 20, 40),
+		TraceSpec("test/determinism"),
+	} {
+		a := samplePoints(t, spec, area, 19, 256)
+		b := samplePoints(t, spec, area, 19, 256)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%v: point %d differs across identical seeds", spec, i)
+				break
+			}
+		}
+	}
+}

@@ -8,10 +8,11 @@ import (
 )
 
 // String renders the spec in the CLI syntax accepted by ParseSpec:
-// "uniform", "normal:mx=64,my=64,sigma=12.8", "exponential:mean=32" or
-// "weibull:shape=1.8,scale=36". Parameters use the shortest float form
-// that round-trips exactly, so ParseSpec(s.String()) == s for every valid
-// spec.
+// "uniform", "normal:mx=64,my=64,sigma=12.8", "exponential:mean=32",
+// "weibull:shape=1.8,scale=36", "hotspots:x1=32,y1=32,s1=8,w1=1,x2=..."
+// (one x/y/s/w quadruple per hotspot), "ring:cx=64,cy=64,inner=16,outer=32"
+// or "trace:file=points.json". Parameters use the shortest float form that
+// round-trips exactly, so ParseSpec(s.String()) == s for every valid spec.
 func (s Spec) String() string {
 	switch s.Kind {
 	case Uniform:
@@ -24,6 +25,29 @@ func (s Spec) String() string {
 	case Weibull:
 		return fmt.Sprintf("weibull:shape=%s,scale=%s",
 			formatParam(s.Shape), formatParam(s.Scale))
+	case Hotspots:
+		var b strings.Builder
+		b.WriteString("hotspots")
+		sep := byte(':')
+		n := s.NumHotspots
+		if n > MaxHotspots {
+			n = MaxHotspots
+		}
+		for i := 0; i < n; i++ {
+			h := s.Hotspots[i]
+			b.WriteByte(sep)
+			sep = ','
+			fmt.Fprintf(&b, "x%d=%s,y%d=%s,s%d=%s,w%d=%s",
+				i+1, formatParam(h.X), i+1, formatParam(h.Y),
+				i+1, formatParam(h.Sigma), i+1, formatParam(h.Weight))
+		}
+		return b.String()
+	case Ring:
+		return fmt.Sprintf("ring:cx=%s,cy=%s,inner=%s,outer=%s",
+			formatParam(s.CenterX), formatParam(s.CenterY),
+			formatParam(s.Inner), formatParam(s.Outer))
+	case Trace:
+		return "trace:file=" + s.Path
 	case "":
 		return "unspecified"
 	default:
@@ -37,31 +61,47 @@ func formatParam(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// specParams maps each kind to its required parameter keys, in String
-// order.
+// specParams maps each fixed-parameter kind to its required keys, in
+// String order. Hotspots (indexed keys) and Trace (a string value) have
+// their own parsers.
 var specParams = map[Kind][]string{
 	Uniform:     nil,
 	Normal:      {"mx", "my", "sigma"},
 	Exponential: {"mean"},
 	Weibull:     {"shape", "scale"},
+	Ring:        {"cx", "cy", "inner", "outer"},
+}
+
+// kindNames lists every parseable kind for error messages.
+func kindNames() string {
+	all := Kinds()
+	names := make([]string, len(all))
+	for i, k := range all {
+		names[i] = string(k)
+	}
+	return strings.Join(names[:len(names)-1], ", ") + " or " + names[len(names)-1]
 }
 
 // ParseSpec parses the CLI syntax for client distributions (the inverse of
 // String): a lowercase kind name, optionally followed by ":" and
-// comma-separated key=value parameters. Kind names are matched
-// case-insensitively; every kind requires exactly its own parameter keys.
+// comma-separated key=value parameters. Kind names and keys are matched
+// case-insensitively. The fixed-parameter kinds require exactly their own
+// keys; hotspots takes one x<i>=..,y<i>=..,s<i>=..,w<i>=.. quadruple per
+// hotspot with contiguous indices from 1; trace takes a single file=PATH
+// whose value is kept verbatim (paths containing commas cannot be
+// expressed — register such traces under a clean name instead).
 func ParseSpec(text string) (Spec, error) {
 	head, rest, hasParams := strings.Cut(strings.TrimSpace(text), ":")
 	kind := Kind(strings.ToLower(strings.TrimSpace(head)))
-	required, ok := specParams[kind]
-	if !ok || kind == "" {
-		return Spec{}, fmt.Errorf("dist: unknown distribution %q (want uniform, normal, exponential or weibull)", head)
+	required, fixed := specParams[kind]
+	if kind == "" || (!fixed && kind != Hotspots && kind != Trace) {
+		return Spec{}, fmt.Errorf("dist: unknown distribution %q (want %s)", head, kindNames())
 	}
-	if hasParams && len(required) == 0 {
+	if hasParams && fixed && len(required) == 0 {
 		return Spec{}, fmt.Errorf("dist: %s takes no parameters, got %q", kind, rest)
 	}
 
-	params := make(map[string]float64, len(required))
+	params := make(map[string]string)
 	if hasParams {
 		for _, item := range strings.Split(rest, ",") {
 			key, value, ok := strings.Cut(item, "=")
@@ -72,39 +112,124 @@ func ParseSpec(text string) (Spec, error) {
 			if _, dup := params[key]; dup {
 				return Spec{}, fmt.Errorf("dist: duplicate parameter %q", key)
 			}
-			v, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
-			if err != nil {
-				return Spec{}, fmt.Errorf("dist: parameter %q: %w", key, err)
-			}
-			params[key] = v
-		}
-	}
-	for _, key := range required {
-		if _, ok := params[key]; !ok {
-			return Spec{}, fmt.Errorf("dist: %s requires parameter %q (want %s:%s=...)", kind, key, kind, strings.Join(required, "=..,"))
-		}
-	}
-	if len(params) != len(required) {
-		for key := range params {
-			if !slices.Contains(required, key) {
-				return Spec{}, fmt.Errorf("dist: %s does not take parameter %q", kind, key)
-			}
+			params[key] = strings.TrimSpace(value)
 		}
 	}
 
 	var spec Spec
 	switch kind {
-	case Uniform:
-		spec = UniformSpec()
-	case Normal:
-		spec = NormalSpec(params["mx"], params["my"], params["sigma"])
-	case Exponential:
-		spec = ExponentialSpec(params["mean"])
-	case Weibull:
-		spec = WeibullSpec(params["shape"], params["scale"])
+	case Hotspots:
+		hs, err := parseHotspotParams(params)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec = HotspotsSpec(hs...)
+	case Trace:
+		path, ok := params["file"]
+		if !ok {
+			return Spec{}, fmt.Errorf("dist: trace requires parameter %q (want trace:file=points.json)", "file")
+		}
+		if len(params) != 1 {
+			for key := range params {
+				if key != "file" {
+					return Spec{}, fmt.Errorf("dist: trace does not take parameter %q", key)
+				}
+			}
+		}
+		spec = TraceSpec(path)
+	default:
+		floats, err := parseFloatParams(kind, required, params)
+		if err != nil {
+			return Spec{}, err
+		}
+		switch kind {
+		case Uniform:
+			spec = UniformSpec()
+		case Normal:
+			spec = NormalSpec(floats["mx"], floats["my"], floats["sigma"])
+		case Exponential:
+			spec = ExponentialSpec(floats["mean"])
+		case Weibull:
+			spec = WeibullSpec(floats["shape"], floats["scale"])
+		case Ring:
+			spec = RingSpec(floats["cx"], floats["cy"], floats["inner"], floats["outer"])
+		}
 	}
 	if err := spec.Validate(); err != nil {
 		return Spec{}, err
 	}
 	return spec, nil
+}
+
+// parseFloatParams converts the raw parameters of a fixed-parameter kind,
+// requiring exactly the kind's own keys.
+func parseFloatParams(kind Kind, required []string, params map[string]string) (map[string]float64, error) {
+	out := make(map[string]float64, len(required))
+	for _, key := range required {
+		raw, ok := params[key]
+		if !ok {
+			return nil, fmt.Errorf("dist: %s requires parameter %q (want %s:%s=...)", kind, key, kind, strings.Join(required, "=..,"))
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dist: parameter %q: %w", key, err)
+		}
+		out[key] = v
+	}
+	if len(params) != len(required) {
+		for key := range params {
+			if !slices.Contains(required, key) {
+				return nil, fmt.Errorf("dist: %s does not take parameter %q", kind, key)
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseHotspotParams assembles hotspots from indexed keys: x<i>, y<i>,
+// s<i> (sigma) and w<i> (weight) for i = 1..MaxHotspots. Indices must be
+// contiguous from 1 and every hotspot needs all four keys, so the set of
+// accepted inputs maps one-to-one onto canonical specs.
+func parseHotspotParams(params map[string]string) ([]Hotspot, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("dist: hotspots requires parameters (want hotspots:x1=..,y1=..,s1=..,w1=..)")
+	}
+	var vals [4][MaxHotspots]float64
+	var seen [4][MaxHotspots]bool
+	const fields = "xysw"
+	count := 0
+	for key, raw := range params {
+		if len(key) < 2 || strings.IndexByte(fields, key[0]) < 0 {
+			return nil, fmt.Errorf("dist: hotspots does not take parameter %q (want x<i>, y<i>, s<i> or w<i>)", key)
+		}
+		field := strings.IndexByte(fields, key[0])
+		idx, err := strconv.Atoi(key[1:])
+		if err != nil || idx < 1 || idx > MaxHotspots {
+			return nil, fmt.Errorf("dist: hotspot parameter %q: index must be 1..%d", key, MaxHotspots)
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dist: parameter %q: %w", key, err)
+		}
+		// Aliased spellings ("x1" and "x01") would hit the same slot in
+		// map order, making the parse non-deterministic; reject them.
+		if seen[field][idx-1] {
+			return nil, fmt.Errorf("dist: duplicate hotspot parameter %q", fmt.Sprintf("%c%d", key[0], idx))
+		}
+		vals[field][idx-1] = v
+		seen[field][idx-1] = true
+		if idx > count {
+			count = idx
+		}
+	}
+	hs := make([]Hotspot, count)
+	for i := 0; i < count; i++ {
+		for f := range seen {
+			if !seen[f][i] {
+				return nil, fmt.Errorf("dist: hotspot %d is missing parameter %q (every hotspot needs x, y, s and w)", i+1, fmt.Sprintf("%c%d", fields[f], i+1))
+			}
+		}
+		hs[i] = Hotspot{X: vals[0][i], Y: vals[1][i], Sigma: vals[2][i], Weight: vals[3][i]}
+	}
+	return hs, nil
 }

@@ -18,6 +18,24 @@ func TestStringParseRoundTrip(t *testing.T) {
 		{name: "normal awkward floats", spec: NormalSpec(1.0/3.0, 0.1, 1e-3), want: ""},
 		{name: "weibull tiny scale", spec: WeibullSpec(2.5, 1e-9), want: ""},
 		{name: "exponential huge mean", spec: ExponentialSpec(1e12), want: ""},
+		{
+			name: "hotspots single",
+			spec: HotspotsSpec(Hotspot{X: 32, Y: 32, Sigma: 8, Weight: 1}),
+			want: "hotspots:x1=32,y1=32,s1=8,w1=1",
+		},
+		{
+			name: "hotspots multi",
+			spec: HotspotsSpec(
+				Hotspot{X: 32, Y: 32, Sigma: 8, Weight: 2},
+				Hotspot{X: 96, Y: 80.5, Sigma: 12.25, Weight: 1},
+			),
+			want: "hotspots:x1=32,y1=32,s1=8,w1=2,x2=96,y2=80.5,s2=12.25,w2=1",
+		},
+		{name: "hotspots awkward floats", spec: HotspotsSpec(Hotspot{X: 1.0 / 3.0, Y: 1e-9, Sigma: 0.1, Weight: 1e12}), want: ""},
+		{name: "ring", spec: RingSpec(64, 64, 16, 32), want: "ring:cx=64,cy=64,inner=16,outer=32"},
+		{name: "ring disk", spec: RingSpec(0, 0, 0, 40), want: "ring:cx=0,cy=0,inner=0,outer=40"},
+		{name: "trace", spec: TraceSpec("points.json"), want: "trace:file=points.json"},
+		{name: "trace odd path", spec: TraceSpec("mem:scenarios/v1/base"), want: "trace:file=mem:scenarios/v1/base"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -46,6 +64,21 @@ func TestParseSpecAcceptsVariants(t *testing.T) {
 		{give: "Normal:SIGMA=2,my=3,mx=1", want: NormalSpec(1, 3, 2)},
 		{give: "exponential: mean = 32", want: ExponentialSpec(32)},
 		{give: "weibull:scale=36,shape=1.8", want: WeibullSpec(1.8, 36)},
+		{
+			give: "HOTSPOTS:w1=2,s1=8,y1=32,x1=32",
+			want: HotspotsSpec(Hotspot{X: 32, Y: 32, Sigma: 8, Weight: 2}),
+		},
+		{
+			// Out-of-order keys across hotspots still assemble by index.
+			give: "hotspots:x2=96,y2=96,s2=12,w2=1,x1=32,y1=32,s1=8,w1=2",
+			want: HotspotsSpec(
+				Hotspot{X: 32, Y: 32, Sigma: 8, Weight: 2},
+				Hotspot{X: 96, Y: 96, Sigma: 12, Weight: 1},
+			),
+		},
+		{give: "Ring:outer=32,inner=16,cy=64,cx=64", want: RingSpec(64, 64, 16, 32)},
+		{give: "trace:file= points.json ", want: TraceSpec("points.json")},
+		{give: "trace:file=a=b.json", want: TraceSpec("a=b.json")},
 	}
 	for _, tt := range tests {
 		got, err := ParseSpec(tt.give)
@@ -78,6 +111,20 @@ func TestParseSpecErrors(t *testing.T) {
 		{name: "NaN sigma", give: "normal:mx=1,my=2,sigma=NaN"},
 		{name: "infinite shape", give: "weibull:shape=+Inf,scale=36"},
 		{name: "colon only", give: ":"},
+		{name: "hotspots bare", give: "hotspots"},
+		{name: "hotspots missing weight", give: "hotspots:x1=32,y1=32,s1=8"},
+		{name: "hotspots gap in indices", give: "hotspots:x1=1,y1=1,s1=1,w1=1,x3=3,y3=3,s3=3,w3=3"},
+		{name: "hotspots index zero", give: "hotspots:x0=1,y0=1,s0=1,w0=1"},
+		{name: "hotspots index overflow", give: "hotspots:x9=1,y9=1,s9=1,w9=1"},
+		{name: "hotspots unknown field", give: "hotspots:x1=1,y1=1,s1=1,w1=1,q1=1"},
+		{name: "hotspots aliased index", give: "hotspots:x1=1,x01=2,y1=1,s1=1,w1=1"},
+		{name: "hotspots negative sigma", give: "hotspots:x1=1,y1=1,s1=-1,w1=1"},
+		{name: "ring missing outer", give: "ring:cx=64,cy=64,inner=16"},
+		{name: "ring inverted radii", give: "ring:cx=64,cy=64,inner=32,outer=16"},
+		{name: "ring NaN center", give: "ring:cx=NaN,cy=64,inner=16,outer=32"},
+		{name: "trace bare", give: "trace"},
+		{name: "trace empty path", give: "trace:file="},
+		{name: "trace extra key", give: "trace:file=a.json,mode=loop"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"meshplace/internal/geom"
+)
+
+// Trace resolution. A Trace spec carries only a path string so that Spec
+// stays a comparable value; the positions behind the path come from one of
+// two places, checked in order:
+//
+//  1. the in-memory trace registry — for traces that ship with the code
+//     (the scenario corpus registers its traces here at init, keeping the
+//     corpus self-contained and byte-identical on every machine);
+//  2. the filesystem — a JSON file holding an array of {"x":..,"y":..}
+//     points, for user-supplied traces on the CLI and the server.
+
+var (
+	traceMu       sync.RWMutex
+	traceRegistry = map[string][]geom.Point{}
+)
+
+// RegisterTrace publishes an in-memory trace under the given name, making
+// TraceSpec(name) buildable without touching the filesystem. The points
+// are copied. Registering a name twice panics — traces are versioned
+// corpus artifacts, and silent replacement would break reproducibility.
+func RegisterTrace(name string, points []geom.Point) {
+	if name == "" || len(points) == 0 {
+		panic(fmt.Sprintf("dist: RegisterTrace(%q) needs a name and at least one point", name))
+	}
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if _, dup := traceRegistry[name]; dup {
+		panic(fmt.Sprintf("dist: trace %q registered twice", name))
+	}
+	traceRegistry[name] = append([]geom.Point(nil), points...)
+}
+
+// RegisteredTraces returns the number of in-memory traces.
+func RegisteredTraces() int {
+	traceMu.RLock()
+	defer traceMu.RUnlock()
+	return len(traceRegistry)
+}
+
+// tracePoints resolves a trace path: registry first, then the filesystem.
+// The returned slice must be treated as immutable (registry hits alias the
+// registered copy).
+func tracePoints(path string) ([]geom.Point, error) {
+	traceMu.RLock()
+	pts, ok := traceRegistry[path]
+	traceMu.RUnlock()
+	if ok {
+		return pts, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dist: trace %q: %w", path, err)
+	}
+	return parseTrace(path, data)
+}
+
+// parseTrace decodes a trace file: a JSON array of {"x":..,"y":..} points.
+// Every coordinate must be finite — one NaN would poison the generated
+// instance — and an empty trace cannot drive a sampler.
+func parseTrace(path string, data []byte) ([]geom.Point, error) {
+	var pts []geom.Point
+	if err := json.Unmarshal(data, &pts); err != nil {
+		return nil, fmt.Errorf("dist: trace %q: decode points: %w", path, err)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("dist: trace %q holds no points", path)
+	}
+	for i, p := range pts {
+		if !finite(p.X) || !finite(p.Y) {
+			return nil, fmt.Errorf("dist: trace %q point %d at (%g, %g) is not finite", path, i, p.X, p.Y)
+		}
+	}
+	return pts, nil
+}

@@ -35,9 +35,11 @@ func FamilyScales() []FamilyScale {
 	}
 }
 
-// familyDistributions returns the four §5.1 distributions scaled to an
-// area of the given side (the base parameters are defined on side 128).
-func familyDistributions(side float64) []dist.Spec {
+// FamilyDistributions returns the four §5.1 distributions scaled to an
+// area of the given side (the base parameters are defined on side 128), in
+// the paper's kind order. The scenario corpus derives its paper layouts
+// from here, so family and corpus can never silently diverge.
+func FamilyDistributions(side float64) []dist.Spec {
 	f := side / 128
 	return []dist.Spec{
 		dist.UniformSpec(),
@@ -54,7 +56,7 @@ func BenchmarkFamily(seed uint64) []wmn.GenConfig {
 	var out []wmn.GenConfig
 	base := wmn.DefaultGenConfig()
 	for _, scale := range FamilyScales() {
-		for _, spec := range familyDistributions(scale.Side) {
+		for _, spec := range FamilyDistributions(scale.Side) {
 			out = append(out, wmn.GenConfig{
 				Name:       fmt.Sprintf("family-%s-%s", scale.Label, spec.Kind),
 				Width:      scale.Side,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 )
@@ -120,11 +121,33 @@ func ForEachIndexed(n, workers int, fn func(i int) error) error {
 	}
 
 	p := NewPool(workers)
+	defer p.Close()
+	return ForEachIndexedOn(p, n, fn)
+}
+
+// ForEachIndexedOn is ForEachIndexed riding an existing pool instead of a
+// fresh one, for long-lived consumers (the placement server, the scenario
+// suite) that share one process-wide pool. It waits only for its own n
+// tasks — not for unrelated work submitted to the pool concurrently — and
+// keeps the lowest-index error rule, so output is byte-identical at any
+// worker count. A closed pool fails every remaining index.
+//
+// It must not be called from a task already running on the same pool: the
+// call blocks its worker until the submitted units finish, so nested use
+// shrinks the effective worker count and deadlocks outright at one worker
+// (the blocked worker is the only one that could drain the units). Nest
+// fan-outs by giving the inner one its own pool (ForEachIndexed).
+func ForEachIndexedOn(p *Pool, n int, fn func(i int) error) error {
 	errs := make([]error, n)
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		p.Submit(func() { errs[i] = fn(i) })
+		wg.Add(1)
+		if !p.Submit(func() { defer wg.Done(); errs[i] = fn(i) }) {
+			errs[i] = errPoolClosed
+			wg.Done()
+		}
 	}
-	p.Close()
+	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -132,3 +155,6 @@ func ForEachIndexed(n, workers int, fn func(i int) error) error {
 	}
 	return nil
 }
+
+// errPoolClosed reports a task submitted after Close.
+var errPoolClosed = errors.New("experiments: pool closed")

@@ -1,0 +1,36 @@
+package scenarios_test
+
+import (
+	"testing"
+
+	"meshplace/internal/scenarios"
+	"meshplace/internal/server"
+)
+
+// BenchmarkGenerateCorpus tracks the cost of materializing the full
+// corpus, the fixed overhead of every suite run.
+func BenchmarkGenerateCorpus(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "serial", 4: "workers4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := scenarios.GenerateCorpus(1, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSuite sweeps the registry's cheap configurations over the
+// half-scale corpus slice — the per-PR trend line for suite throughput
+// (see `make bench`, which records the event stream per PR).
+func BenchmarkSuite(b *testing.B) {
+	specs := quickSpecs(b)
+	scs := scenarios.Filter(scenarios.Corpus(1), "half")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.RunSuite(specs, scs, scenarios.SuiteConfig{Seed: 1, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

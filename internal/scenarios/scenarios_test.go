@@ -1,0 +1,187 @@
+package scenarios
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"meshplace/internal/dist"
+	"meshplace/internal/experiments"
+	"meshplace/internal/wmn"
+)
+
+// -update regenerates the golden corpus hashes. Run it after an
+// intentional corpus version bump, never to paper over a drift.
+var update = flag.Bool("update", false, "rewrite the golden corpus hashes")
+
+const goldenSeed = 1
+
+func goldenPath() string {
+	return filepath.Join("testdata", "corpus_"+Version+"_seed1.json")
+}
+
+// corpusHashes generates the corpus and returns name → instance hash in
+// corpus order.
+func corpusHashes(t *testing.T, workers int) map[string]string {
+	t.Helper()
+	instances, err := GenerateCorpus(goldenSeed, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := Corpus(goldenSeed)
+	if len(instances) != len(scs) {
+		t.Fatalf("GenerateCorpus returned %d instances for %d scenarios", len(instances), len(scs))
+	}
+	out := make(map[string]string, len(instances))
+	for i, in := range instances {
+		if in.Name != scs[i].Name {
+			t.Fatalf("instance %d named %q, want %q", i, in.Name, scs[i].Name)
+		}
+		out[in.Name] = wmn.HashInstance(in)
+	}
+	return out
+}
+
+// TestGenerateCorpusGoldenHashes pins every corpus instance against the
+// checked-in golden FNV hashes, at one worker and at eight — any change to
+// a layout, a trace, the rng derivation or the dist samplers shows up here
+// as a named diff, and scheduling can never leak into the output.
+func TestGenerateCorpusGoldenHashes(t *testing.T) {
+	got := corpusHashes(t, 1)
+
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d hashes", goldenPath(), len(got))
+	}
+
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("read golden hashes (regenerate with -update): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d hashes, corpus has %d", len(want), len(got))
+	}
+	for name, hash := range want {
+		if got[name] != hash {
+			t.Errorf("%s: hash %s, golden %s", name, got[name], hash)
+		}
+	}
+
+	// Worker-count invariance: the same hashes must come out of a
+	// parallel generation.
+	parallel := corpusHashes(t, 8)
+	for name, hash := range got {
+		if parallel[name] != hash {
+			t.Errorf("%s: 8-worker hash %s differs from 1-worker %s", name, parallel[name], hash)
+		}
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	scs := Corpus(goldenSeed)
+	scales := experiments.FamilyScales()
+	wantLayouts := []string{"uniform", "normal", "exponential", "weibull", "hotspots", "ring", "trace"}
+	if len(scs) != len(scales)*len(wantLayouts) {
+		t.Fatalf("corpus has %d scenarios, want %d", len(scs), len(scales)*len(wantLayouts))
+	}
+	i := 0
+	for _, scale := range scales {
+		for _, l := range wantLayouts {
+			sc := scs[i]
+			i++
+			if sc.Scale != scale.Label || sc.Layout != l {
+				t.Fatalf("scenario %d is %s/%s, want %s/%s", i-1, sc.Scale, sc.Layout, scale.Label, l)
+			}
+			if err := sc.Gen.Validate(); err != nil {
+				t.Errorf("%s: %v", sc.Name, err)
+			}
+			if err := sc.Gen.ClientDist.Validate(); err != nil {
+				t.Errorf("%s: %v", sc.Name, err)
+			}
+		}
+	}
+	// Distinct scenarios must not share generation seeds (they would
+	// correlate radii across scenarios of equal router count).
+	seeds := map[uint64]string{}
+	for _, sc := range scs {
+		if prev, dup := seeds[sc.Gen.Seed]; dup {
+			t.Errorf("%s and %s share seed %d", prev, sc.Name, sc.Gen.Seed)
+		}
+		seeds[sc.Gen.Seed] = sc.Name
+	}
+}
+
+func TestDescribeMatchesCorpusAndParses(t *testing.T) {
+	infos := Describe()
+	scs := Corpus(42)
+	if len(infos) != len(scs) {
+		t.Fatalf("Describe() has %d entries, corpus %d", len(infos), len(scs))
+	}
+	for i, info := range infos {
+		if info.Name != scs[i].Name {
+			t.Errorf("entry %d named %q, want %q", i, info.Name, scs[i].Name)
+		}
+		spec, err := dist.ParseSpec(info.Dist)
+		if err != nil {
+			t.Errorf("%s: dist %q does not parse: %v", info.Name, info.Dist, err)
+			continue
+		}
+		if spec != scs[i].Gen.ClientDist {
+			t.Errorf("%s: catalog dist %v differs from corpus %v", info.Name, spec, scs[i].Gen.ClientDist)
+		}
+	}
+}
+
+func TestFilterScales(t *testing.T) {
+	scs := Corpus(1)
+	half := Filter(scs, "half")
+	if len(half) != len(scs)/3 {
+		t.Errorf("Filter(half) kept %d of %d", len(half), len(scs))
+	}
+	for _, sc := range half {
+		if sc.Scale != "half" {
+			t.Errorf("Filter(half) kept %s", sc.Name)
+		}
+	}
+	if got := Filter(scs); len(got) != len(scs) {
+		t.Errorf("Filter() dropped scenarios: %d of %d", len(got), len(scs))
+	}
+	if got := Filter(scs, "bogus"); len(got) != 0 {
+		t.Errorf("Filter(bogus) kept %d scenarios", len(got))
+	}
+}
+
+func TestCorpusSeedSensitivity(t *testing.T) {
+	a, err := GenerateCorpus(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCorpus(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if wmn.HashInstance(a[i]) == wmn.HashInstance(b[i]) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d of %d instances identical across different corpus seeds", same, len(a))
+	}
+}

@@ -2,9 +2,6 @@ package server
 
 import (
 	"container/list"
-	"encoding/json"
-	"fmt"
-	"hash/fnv"
 	"strconv"
 	"sync"
 
@@ -110,20 +107,11 @@ func (c *Cache) Stats() CacheStats {
 }
 
 // HashInstance fingerprints an instance by FNV-1a over its canonical JSON
-// encoding. Equal instances (same area, radii, clients, provenance) hash
-// equally on every platform, making the hash a stable cache-key component
-// and a useful response field for clients tracking what was solved.
-func HashInstance(in *wmn.Instance) string {
-	payload, err := json.Marshal(in)
-	if err != nil {
-		// Instance is a plain struct of floats and slices; Marshal cannot
-		// fail on a validated value.
-		panic(fmt.Sprintf("server: hash instance: %v", err))
-	}
-	h := fnv.New64a()
-	h.Write(payload)
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+// encoding (see wmn.HashInstance, which owns the algorithm so the scenario
+// suite shares the same identity). Equal instances hash equally on every
+// platform, making the hash a stable cache-key component and a useful
+// response field for clients tracking what was solved.
+func HashInstance(in *wmn.Instance) string { return wmn.HashInstance(in) }
 
 // cacheKey joins the three determinism inputs of a solve.
 func cacheKey(instanceHash string, spec Spec, seed uint64) string {

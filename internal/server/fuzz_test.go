@@ -1,0 +1,62 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec pins the solver-spec grammar for arbitrary input:
+// ParseSpec never panics, and every accepted input canonicalizes stably —
+// the parsed spec renders, re-parses to an identical value, and its solver
+// builds (or fails with a clean error, never a panic).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		// Every registered kind, bare and with parameters.
+		"adhoc",
+		"adhoc:method=Near",
+		"search",
+		"search:movement=random,phases=10,neighbors=8,init=Corners",
+		"hillclimb:steps=100,noimprove=10",
+		"anneal:steps=100,starttemp=0.1,endtemp=0.001",
+		"tabu:tenure=4,phases=8",
+		"ga:init=HotSpot,generations=10,pop=8",
+		// Near-miss and hostile shapes.
+		"",
+		":",
+		"GA : POP = 8",
+		"adhoc:method=Spiral",
+		"search:phases=0",
+		"anneal:starttemp=NaN",
+		"anneal:starttemp=0.001,endtemp=0.1",
+		"ga:pop=8,pop=9",
+		"tabu:tenure=",
+		"adhoc:method=Near,extra=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		rendered := spec.String()
+		back, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("String %q of ParseSpec(%q) does not re-parse: %v", rendered, text, err)
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Fatalf("round trip changed ParseSpec(%q) = %#v to %#v (via %q)", text, spec, back, rendered)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String is not a fixed point: %q then %q", rendered, again)
+		}
+		// Parsed specs address a registered kind with canonical params, so
+		// building must never panic; cross-field constraints may still
+		// reject (e.g. anneal's endtemp above starttemp).
+		if _, err := NewSolver(spec); err == nil {
+			if _, err := NewSolver(back); err != nil {
+				t.Fatalf("solver builds for %q but not for its round trip", text)
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"net/http"
+
+	"meshplace/internal/scenarios"
+)
+
+// The scenario-corpus surface of the service: GET /v1/scenarios lists the
+// versioned robustness corpus, and the suite helpers below wire the solver
+// registry into scenarios.RunSuite (the scenarios package takes solvers
+// structurally, so it never imports this one).
+
+// ScenarioCatalog is the payload of GET /v1/scenarios.
+type ScenarioCatalog struct {
+	Version   string           `json:"version"`
+	Scenarios []scenarios.Info `json:"scenarios"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ScenarioCatalog{
+		Version:   scenarios.Version,
+		Scenarios: scenarios.Describe(),
+	})
+}
+
+// DefaultSuiteSpecs returns one canonical default spec per registered
+// solver kind — the suite's "sweep everything" selection.
+func DefaultSuiteSpecs() []Spec {
+	kinds := Kinds()
+	out := make([]Spec, 0, len(kinds))
+	for _, kind := range kinds {
+		spec, err := ParseSpec(kind)
+		if err != nil {
+			panic("server: default spec of registered kind does not parse: " + err.Error())
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
+// SuiteSolvers builds the named solvers for a spec list, labeling each
+// with its canonical spec string. An empty list selects DefaultSuiteSpecs.
+func SuiteSolvers(specs []Spec) ([]scenarios.NamedSolver, error) {
+	if len(specs) == 0 {
+		specs = DefaultSuiteSpecs()
+	}
+	out := make([]scenarios.NamedSolver, 0, len(specs))
+	for _, spec := range specs {
+		sv, err := NewSolver(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scenarios.NamedSolver{Name: spec.String(), Solver: sv})
+	}
+	return out, nil
+}
+
+// RunSuite sweeps the given solver specs (empty = every registered kind's
+// default) over the scenario list on the suite config's pool or workers.
+func RunSuite(specs []Spec, scs []scenarios.Scenario, cfg scenarios.SuiteConfig) (*scenarios.Report, error) {
+	solvers, err := SuiteSolvers(specs)
+	if err != nil {
+		return nil, err
+	}
+	return scenarios.RunSuite(scs, solvers, cfg)
+}

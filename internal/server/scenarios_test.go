@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"meshplace/internal/dist"
+	"meshplace/internal/scenarios"
+	"meshplace/internal/wmn"
+)
+
+// TestScenariosEndpoint exercises GET /v1/scenarios end to end: the
+// catalog must list the full versioned corpus and every dist string must
+// parse back into a valid layout spec.
+func TestScenariosEndpoint(t *testing.T) {
+	srv := newTestServer(t, DefaultConfig())
+	w := do(t, srv, http.MethodGet, "/v1/scenarios", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/scenarios = %d: %s", w.Code, w.Body)
+	}
+	var catalog ScenarioCatalog
+	if err := json.Unmarshal(w.Body.Bytes(), &catalog); err != nil {
+		t.Fatal(err)
+	}
+	if catalog.Version != scenarios.Version {
+		t.Errorf("catalog version %q, want %q", catalog.Version, scenarios.Version)
+	}
+	if want := len(scenarios.Describe()); len(catalog.Scenarios) != want {
+		t.Fatalf("catalog lists %d scenarios, want %d", len(catalog.Scenarios), want)
+	}
+	layouts := map[string]bool{}
+	for _, info := range catalog.Scenarios {
+		layouts[info.Layout] = true
+		spec, err := dist.ParseSpec(info.Dist)
+		if err != nil {
+			t.Errorf("%s: dist %q does not parse: %v", info.Name, info.Dist, err)
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", info.Name, err)
+		}
+	}
+	for _, l := range []string{"hotspots", "ring", "trace"} {
+		if !layouts[l] {
+			t.Errorf("catalog is missing the %s layout", l)
+		}
+	}
+	if do(t, srv, http.MethodPost, "/v1/scenarios", "{}").Code != http.StatusMethodNotAllowed {
+		t.Error("POST /v1/scenarios accepted")
+	}
+}
+
+// TestSuiteSolveThroughJobQueue pushes a corpus instance through the async
+// path: POST /v1/solve in async mode on a generated scenario instance,
+// then polls the job handle until the solve lands, checking the result
+// identifies the instance by the same hash the suite reports.
+func TestSuiteSolveThroughJobQueue(t *testing.T) {
+	srv := newTestServer(t, Config{CacheSize: 16, Workers: 2})
+	scs := scenarios.Filter(scenarios.Corpus(5), "half")
+	var scenario scenarios.Scenario
+	for _, sc := range scs {
+		if sc.Layout == "hotspots" {
+			scenario = sc
+		}
+	}
+	if scenario.Name == "" {
+		t.Fatal("corpus has no half-scale hotspots scenario")
+	}
+	in, err := wmn.Generate(scenario.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"solver": "adhoc:method=HotSpot", "seed": 5, "instance": in, "mode": "async",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, srv, http.MethodPost, "/v1/solve", string(body))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("async solve = %d: %s", w.Code, w.Body)
+	}
+	var accepted struct {
+		Job JobView `json:"job"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var view JobView
+	for {
+		resp := do(t, srv, http.MethodGet, "/v1/jobs/"+accepted.Job.ID, "")
+		if resp.Code != http.StatusOK {
+			t.Fatalf("job poll = %d: %s", resp.Code, resp.Body)
+		}
+		if err := json.Unmarshal(resp.Body.Bytes(), &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.Status == JobDone || view.Status == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", accepted.Job.ID, view.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if view.Status != JobDone {
+		t.Fatalf("job failed: %s", view.Error)
+	}
+	var result SolveResult
+	if err := json.Unmarshal(view.Result, &result); err != nil {
+		t.Fatal(err)
+	}
+	if result.Instance != scenario.Name {
+		t.Errorf("result instance %q, want %q", result.Instance, scenario.Name)
+	}
+	if result.InstanceHash != wmn.HashInstance(in) {
+		t.Errorf("result hash %s, want %s", result.InstanceHash, wmn.HashInstance(in))
+	}
+	if result.Metrics.GiantSize < 1 {
+		t.Error("solve produced an empty giant component")
+	}
+}
+
+// TestGenerateSolveOnTraceLayout solves a server-side generated instance
+// whose layout is a registered corpus trace — the full dist-to-server path
+// for the trace kind.
+func TestGenerateSolveOnTraceLayout(t *testing.T) {
+	srv := newTestServer(t, DefaultConfig())
+	gen := wmn.DefaultGenConfig()
+	gen.Width, gen.Height = 91, 91
+	gen.NumRouters, gen.NumClients = 16, 32
+	gen.ClientDist = dist.TraceSpec(scenarios.TracePath("half"))
+	body, err := json.Marshal(map[string]any{
+		"solver": "adhoc:method=Near", "seed": 2, "generate": gen, "mode": "sync",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, srv, http.MethodPost, "/v1/solve", string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("solve = %d: %s", w.Code, w.Body)
+	}
+}
+
+func TestDefaultSuiteSpecsCoverRegistry(t *testing.T) {
+	specs := DefaultSuiteSpecs()
+	kinds := Kinds()
+	if len(specs) != len(kinds) {
+		t.Fatalf("DefaultSuiteSpecs has %d specs for %d kinds", len(specs), len(kinds))
+	}
+	for i, spec := range specs {
+		if spec.Kind() != kinds[i] {
+			t.Errorf("spec %d is %q, want %q", i, spec.Kind(), kinds[i])
+		}
+	}
+	solvers, err := SuiteSolvers(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solvers) != len(kinds) {
+		t.Fatalf("SuiteSolvers(nil) built %d solvers", len(solvers))
+	}
+}

@@ -82,6 +82,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux = mux

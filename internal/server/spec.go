@@ -3,10 +3,10 @@
 // the neighborhood search with its hill-climbing / annealing / tabu
 // extensions and the genetic algorithm behind one Solver interface
 // addressable by string spec; an HTTP JSON API (POST /v1/solve,
-// GET /v1/jobs/{id}, GET /v1/solvers, GET /healthz); an async job queue on
-// the experiments worker pool for large instances; and an LRU result cache
-// that serves repeated seeded requests byte-identically without
-// recomputation.
+// GET /v1/jobs/{id}, GET /v1/solvers, GET /v1/scenarios, GET /healthz); an
+// async job queue on the experiments worker pool for large instances; and
+// an LRU result cache that serves repeated seeded requests byte-identically
+// without recomputation.
 package server
 
 import (

@@ -1,0 +1,24 @@
+package wmn
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// HashInstance fingerprints an instance by FNV-1a over its canonical JSON
+// encoding. Equal instances (same area, radii, clients, provenance) hash
+// equally on every platform, making the hash a stable cache-key component
+// for the placement server, the identity column of scenario-suite reports,
+// and a useful response field for clients tracking what was solved.
+func HashInstance(in *Instance) string {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		// Instance is a plain struct of floats and slices; Marshal cannot
+		// fail on a validated value.
+		panic(fmt.Sprintf("wmn: hash instance: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

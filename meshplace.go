@@ -15,9 +15,11 @@
 //     plus hill-climbing, simulated-annealing and tabu-search extensions;
 //   - the genetic algorithm of §5 with ad hoc population initializers;
 //   - instance generation with Uniform, Normal, Exponential and Weibull
-//     client distributions;
+//     client distributions, plus multi-modal hotspot, ring/corridor and
+//     trace-driven layouts;
 //   - experiment runners that regenerate every table and figure of the
-//     paper's evaluation.
+//     paper's evaluation, and a versioned scenario corpus with a solver
+//     suite for robustness studies (RunScenarioSuite).
 //
 // The quickest path from zero to a placed network:
 //
@@ -129,9 +131,36 @@ func ExponentialClients(mean float64) DistSpec { return dist.ExponentialSpec(mea
 // Weibull(shape, scale) coordinates — the softest of the hotspot layouts.
 func WeibullClients(shape, scale float64) DistSpec { return dist.WeibullSpec(shape, scale) }
 
+// ClientHotspot is one mode of a multi-modal hotspot layout: a Gaussian
+// cluster around (X, Y) with standard deviation Sigma, selected with
+// probability proportional to Weight.
+type ClientHotspot = dist.Hotspot
+
+// HotspotClients describes clients drawn from a weighted mixture of up to
+// dist.MaxHotspots Gaussian hotspots — the multi-modal generalization of
+// NormalClients.
+func HotspotClients(hotspots ...ClientHotspot) DistSpec { return dist.HotspotsSpec(hotspots...) }
+
+// RingClients describes clients spread uniformly over the annulus between
+// the inner and outer radii around (centerX, centerY) — corridor and ring
+// topologies.
+func RingClients(centerX, centerY, inner, outer float64) DistSpec {
+	return dist.RingSpec(centerX, centerY, inner, outer)
+}
+
+// TraceClients describes clients replayed from a JSON point file (an array
+// of {"x":..,"y":..} objects) or from a trace registered with
+// RegisterClientTrace, drawn with replacement.
+func TraceClients(path string) DistSpec { return dist.TraceSpec(path) }
+
+// RegisterClientTrace publishes an in-memory trace, making
+// TraceClients(name) buildable without touching the filesystem.
+func RegisterClientTrace(name string, points []Point) { dist.RegisterTrace(name, points) }
+
 // ParseClients parses the CLI syntax for client distributions, e.g.
-// "uniform", "normal:mx=64,my=64,sigma=12.8", "exponential:mean=32" or
-// "weibull:shape=1.5,scale=48".
+// "uniform", "normal:mx=64,my=64,sigma=12.8", "exponential:mean=32",
+// "weibull:shape=1.5,scale=48", "hotspots:x1=32,y1=32,s1=8,w1=1,x2=...",
+// "ring:cx=64,cy=64,inner=16,outer=32" or "trace:file=points.json".
 func ParseClients(text string) (DistSpec, error) { return dist.ParseSpec(text) }
 
 // PlacementMethod identifies one of the seven ad hoc methods.

@@ -136,11 +136,20 @@ func TestFacadeExperimentQuick(t *testing.T) {
 }
 
 func TestFacadeClientSpecs(t *testing.T) {
+	meshplace.RegisterClientTrace("facade/test", []meshplace.Point{
+		meshplace.Pt(10, 10), meshplace.Pt(100, 100), meshplace.Pt(64, 32),
+	})
 	specs := []meshplace.DistSpec{
 		meshplace.UniformClients(),
 		meshplace.NormalClients(64, 64, 12.8),
 		meshplace.ExponentialClients(32),
 		meshplace.WeibullClients(1.8, 36),
+		meshplace.HotspotClients(
+			meshplace.ClientHotspot{X: 32, Y: 32, Sigma: 8, Weight: 2},
+			meshplace.ClientHotspot{X: 96, Y: 96, Sigma: 12, Weight: 1},
+		),
+		meshplace.RingClients(64, 64, 20, 40),
+		meshplace.TraceClients("facade/test"),
 	}
 	for _, spec := range specs {
 		parsed, err := meshplace.ParseClients(spec.String())
@@ -226,5 +235,40 @@ func TestFacadeSolverRegistry(t *testing.T) {
 		if sol.Positions[i] != sol2.Positions[i] {
 			t.Fatalf("router %d moved between identical solves", i)
 		}
+	}
+}
+
+func TestFacadeScenarioSuite(t *testing.T) {
+	catalog := meshplace.ScenarioCatalog()
+	corpus := meshplace.ScenarioCorpus(1)
+	if len(catalog) == 0 || len(catalog) != len(corpus) {
+		t.Fatalf("catalog has %d entries, corpus %d", len(catalog), len(corpus))
+	}
+	instances, err := meshplace.GenerateScenarioCorpus(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != len(corpus) {
+		t.Fatalf("generated %d instances for %d scenarios", len(instances), len(corpus))
+	}
+
+	spec, err := meshplace.ParseSolverSpec("adhoc:method=HotSpot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := meshplace.RunScenarioSuite(
+		[]meshplace.SolverSpec{spec}, corpus[:3],
+		meshplace.SuiteConfig{Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("report has %d cells, want 3", len(report.Results))
+	}
+	if report.Version != meshplace.ScenarioCorpusVersion {
+		t.Errorf("report version %q", report.Version)
+	}
+	if report.Fingerprint() == "" {
+		t.Error("empty fingerprint")
 	}
 }
