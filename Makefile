@@ -5,11 +5,12 @@ GO ?= go
 
 ci: vet build race
 
-# The explicit second vet keeps the serving and scenario layers in the
-# gate even if the ./... pattern is ever narrowed.
+# The explicit second vet keeps the serving, scenario and incremental-
+# evaluation layers in the gate even if the ./... pattern is ever narrowed.
 vet:
 	$(GO) vet ./...
 	$(GO) vet ./internal/server ./internal/scenarios
+	$(GO) vet ./internal/wmn ./internal/spatial ./internal/localsearch ./internal/ga
 
 build:
 	$(GO) build ./...
@@ -21,10 +22,12 @@ race:
 	$(GO) test -race ./...
 
 # Benchmarks only (includes the worker-pool scaling benchmark in
-# internal/experiments and the corpus/suite benchmarks in
-# internal/scenarios). The test2json event stream is written to
-# BENCH_PR3.json so the perf trajectory is recorded per PR and can be
-# diffed across commits.
+# internal/experiments, the corpus/suite benchmarks in internal/scenarios,
+# and BenchmarkIncrementalVsFull in internal/wmn — the per-neighbor
+# incremental-vs-full evaluation comparison at paper and 10× scale). The
+# test2json event stream is written to BENCH_PR4.json so the perf
+# trajectory is recorded per PR and can be diffed across commits.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 3x -json ./... > BENCH_PR3.json
-	@echo "wrote BENCH_PR3.json ($$(wc -l < BENCH_PR3.json) events)"
+	$(GO) test -run '^$$' -bench . -benchtime 3x -json ./... > BENCH_PR4.json
+	$(GO) test -run '^$$' -bench BenchmarkIncrementalVsFull -benchtime 1000x -json ./internal/wmn >> BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json ($$(wc -l < BENCH_PR4.json) events)"

@@ -275,6 +275,14 @@ func Run(eval *wmn.Evaluator, init Initializer, cfg Config, r *rng.Rand) (Result
 		pop[i] = individual{sol: s, metrics: eval.MustEvaluate(s)}
 		res.Evaluations++
 	}
+	// Offspring are scored on the incremental path: the evaluator rebases
+	// from child to child, paying only for the genes that differ. Random
+	// early populations rebase almost everything; as the population
+	// converges the diffs — and the evaluation cost — shrink.
+	inc, err := wmn.NewIncrementalEvaluator(eval, pop[0].sol)
+	if err != nil {
+		return Result{}, fmt.Errorf("ga: incremental evaluator: %w", err)
+	}
 	sortByFitness(pop)
 	res.Best = pop[0].sol.Clone()
 	res.BestMetrics = pop[0].metrics
@@ -302,7 +310,7 @@ func Run(eval *wmn.Evaluator, init Initializer, cfg Config, r *rng.Rand) (Result
 				copy(child.Positions, a.sol.Positions)
 			}
 			mutate(in, child, cfg, r)
-			next[i].metrics = eval.MustEvaluate(child)
+			next[i].metrics = inc.Rebase(child)
 			res.Evaluations++
 		}
 		pop, next = next, pop

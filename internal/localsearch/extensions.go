@@ -66,32 +66,45 @@ func HillClimb(eval *wmn.Evaluator, initial wmn.Solution, cfg HillClimbConfig, r
 	}
 
 	cur := initial.Clone()
-	curMetrics := eval.MustEvaluate(cur)
+	inc, err := wmn.NewIncrementalEvaluator(eval, cur)
+	if err != nil {
+		return Result{}, fmt.Errorf("localsearch: %w", err)
+	}
+	curMetrics := inc.Metrics()
 	res := Result{Best: cur.Clone(), BestMetrics: curMetrics}
 	scratch := wmn.NewSolution(len(cur.Positions))
+	var changed []int
 
 	noImprove := 0
 	for step := 1; step <= cfg.MaxSteps && noImprove < cfg.MaxNoImprove; step++ {
-		if !cfg.Movement.Propose(eval.Instance(), cur, scratch, r) {
-			noImprove++
-			continue
-		}
-		m := eval.MustEvaluate(scratch)
-		res.Evaluations++
-		if m.Fitness > curMetrics.Fitness {
-			copy(cur.Positions, scratch.Positions)
-			curMetrics = m
-			noImprove = 0
-			if m.Fitness > res.BestMetrics.Fitness {
-				res.Best = cur.Clone()
-				res.BestMetrics = m
+		// Every executed step counts toward Phases and the trace — also
+		// the ones whose movement failed to propose — matching the
+		// accounting of Search and Anneal.
+		proposed, accepted := false, false
+		var ok bool
+		if changed, ok = ProposeChanged(cfg.Movement, eval.Instance(), cur, scratch, r, changed); ok {
+			proposed = true
+			m := inc.Apply(changed, scratch)
+			res.Evaluations++
+			if m.Fitness > curMetrics.Fitness {
+				copy(cur.Positions, scratch.Positions)
+				curMetrics = m
+				accepted = true
+				noImprove = 0
+				if m.Fitness > res.BestMetrics.Fitness {
+					res.Best = cur.Clone()
+					res.BestMetrics = m
+				}
+			} else {
+				inc.Revert()
+				noImprove++
 			}
 		} else {
 			noImprove++
 		}
 		res.Phases = step
 		if cfg.RecordTrace {
-			res.Trace = append(res.Trace, PhaseRecord{Phase: step, Metrics: curMetrics, Accepted: noImprove == 0})
+			res.Trace = append(res.Trace, PhaseRecord{Phase: step, Metrics: curMetrics, Accepted: accepted, Proposed: proposed})
 		}
 	}
 	return res, nil
@@ -158,30 +171,44 @@ func Anneal(eval *wmn.Evaluator, initial wmn.Solution, cfg AnnealConfig, r *rng.
 	}
 
 	cur := initial.Clone()
-	curMetrics := eval.MustEvaluate(cur)
+	inc, err := wmn.NewIncrementalEvaluator(eval, cur)
+	if err != nil {
+		return Result{}, fmt.Errorf("localsearch: %w", err)
+	}
+	curMetrics := inc.Metrics()
 	res := Result{Best: cur.Clone(), BestMetrics: curMetrics}
 	scratch := wmn.NewSolution(len(cur.Positions))
+	var changed []int
 
 	cooling := math.Pow(cfg.EndTemp/cfg.StartTemp, 1/float64(cfg.Steps))
 	temp := cfg.StartTemp
 	for step := 1; step <= cfg.Steps; step++ {
-		if cfg.Movement.Propose(eval.Instance(), cur, scratch, r) {
-			m := eval.MustEvaluate(scratch)
+		// Trace records carry what actually happened in the step: whether
+		// a neighbor was proposed at all, and whether the Metropolis test
+		// accepted it.
+		proposed, accepted := false, false
+		var ok bool
+		if changed, ok = ProposeChanged(cfg.Movement, eval.Instance(), cur, scratch, r, changed); ok {
+			proposed = true
+			m := inc.Apply(changed, scratch)
 			res.Evaluations++
 			delta := m.Fitness - curMetrics.Fitness
 			if delta >= 0 || r.Float64() < math.Exp(delta/temp) {
 				copy(cur.Positions, scratch.Positions)
 				curMetrics = m
+				accepted = true
 				if m.Fitness > res.BestMetrics.Fitness {
 					res.Best = cur.Clone()
 					res.BestMetrics = m
 				}
+			} else {
+				inc.Revert()
 			}
 		}
 		temp *= cooling
 		res.Phases = step
 		if cfg.RecordTrace && step%cfg.TraceEvery == 0 {
-			res.Trace = append(res.Trace, PhaseRecord{Phase: step, Metrics: curMetrics, Accepted: true})
+			res.Trace = append(res.Trace, PhaseRecord{Phase: step, Metrics: curMetrics, Accepted: accepted, Proposed: proposed})
 		}
 	}
 	return res, nil
@@ -246,27 +273,34 @@ func Tabu(eval *wmn.Evaluator, initial wmn.Solution, cfg TabuConfig, r *rng.Rand
 	}
 
 	cur := initial.Clone()
-	curMetrics := eval.MustEvaluate(cur)
+	inc, err := wmn.NewIncrementalEvaluator(eval, cur)
+	if err != nil {
+		return Result{}, fmt.Errorf("localsearch: %w", err)
+	}
+	curMetrics := inc.Metrics()
 	res := Result{Best: cur.Clone(), BestMetrics: curMetrics}
 
 	n := len(cur.Positions)
 	tabuUntil := make([]int, n)
 	scratch := wmn.NewSolution(n)
 	bestNeighbor := wmn.NewSolution(n)
+	var changed, foundChanged []int
 
 	for phase := 1; phase <= cfg.MaxPhases; phase++ {
-		found := false
+		found, proposed := false, false
 		var foundMetrics wmn.Metrics
-		var foundChanged []int
 		for k := 0; k < cfg.NeighborsPerPhase; k++ {
-			if !cfg.Movement.Propose(eval.Instance(), cur, scratch, r) {
+			var ok bool
+			changed, ok = ProposeChanged(cfg.Movement, eval.Instance(), cur, scratch, r, changed)
+			if !ok {
 				continue
 			}
-			changed := changedRouters(cur, scratch)
+			proposed = true
 			if len(changed) == 0 {
 				continue
 			}
-			m := eval.MustEvaluate(scratch)
+			m := inc.Apply(changed, scratch)
+			inc.Revert()
 			res.Evaluations++
 			if isTabu(changed, tabuUntil, phase) && m.Fitness <= res.BestMetrics.Fitness {
 				continue // tabu and not aspirational
@@ -279,6 +313,7 @@ func Tabu(eval *wmn.Evaluator, initial wmn.Solution, cfg TabuConfig, r *rng.Rand
 			}
 		}
 		if found {
+			inc.Apply(foundChanged, bestNeighbor)
 			copy(cur.Positions, bestNeighbor.Positions)
 			curMetrics = foundMetrics
 			for _, i := range foundChanged {
@@ -291,7 +326,7 @@ func Tabu(eval *wmn.Evaluator, initial wmn.Solution, cfg TabuConfig, r *rng.Rand
 		}
 		res.Phases = phase
 		if cfg.RecordTrace {
-			res.Trace = append(res.Trace, PhaseRecord{Phase: phase, Metrics: curMetrics, Accepted: found})
+			res.Trace = append(res.Trace, PhaseRecord{Phase: phase, Metrics: curMetrics, Accepted: found, Proposed: proposed})
 		}
 	}
 	return res, nil

@@ -29,6 +29,44 @@ type Movement interface {
 	Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand) bool
 }
 
+// DeltaMovement extends Movement for the incremental-evaluation hot path:
+// ProposeDelta additionally reports exactly the router indices whose dst
+// position differs from sol, in ascending index order, appended to buf
+// (which may be nil or reused across calls). An index whose new position
+// happens to equal the old one must NOT be reported — the search drivers
+// rely on the returned set matching a full positions diff, so that
+// delta-aware and diff-fallback movements behave identically.
+//
+// Implementations must consume exactly the same random draws as Propose for
+// the same inputs; all movements in this package implement both methods on
+// top of one code path, so seeded runs are unchanged by which entry point a
+// driver uses.
+type DeltaMovement interface {
+	Movement
+	ProposeDelta(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand, buf []int) ([]int, bool)
+}
+
+// ProposeChanged generates a neighbor like Movement.Propose and reports the
+// changed router indices, ascending. Movements implementing DeltaMovement
+// report the set directly; for any other movement the set is recovered with
+// a full positions diff — the generalization of tabu's changedRouters
+// fallback — so every movement can drive the incremental evaluator.
+func ProposeChanged(m Movement, in *wmn.Instance, sol, dst wmn.Solution, r *rng.Rand, buf []int) ([]int, bool) {
+	if dm, ok := m.(DeltaMovement); ok {
+		return dm.ProposeDelta(in, sol, dst, r, buf)
+	}
+	if !m.Propose(in, sol, dst, r) {
+		return buf[:0], false
+	}
+	buf = buf[:0]
+	for i := range sol.Positions {
+		if sol.Positions[i] != dst.Positions[i] {
+			buf = append(buf, i)
+		}
+	}
+	return buf, true
+}
+
 // --- Random movement -------------------------------------------------------
 
 // RandomMovement relocates one uniformly chosen router to a uniformly
@@ -39,18 +77,28 @@ type RandomMovement struct{}
 func (RandomMovement) Name() string { return "Random" }
 
 // Propose implements Movement.
-func (RandomMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand) bool {
+func (m RandomMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand) bool {
+	_, ok := m.ProposeDelta(in, sol, dst, r, nil)
+	return ok
+}
+
+// ProposeDelta implements DeltaMovement.
+func (RandomMovement) ProposeDelta(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand, buf []int) ([]int, bool) {
 	n := len(sol.Positions)
 	if n == 0 {
-		return false
+		return buf[:0], false
 	}
 	copy(dst.Positions, sol.Positions)
 	area := in.Area()
-	dst.Positions[r.IntN(n)] = geom.Point{
+	i := r.IntN(n)
+	dst.Positions[i] = geom.Point{
 		X: area.Min.X + r.Float64()*area.Width(),
 		Y: area.Min.Y + r.Float64()*area.Height(),
 	}
-	return true
+	if dst.Positions[i] == sol.Positions[i] {
+		return buf[:0], true
+	}
+	return append(buf[:0], i), true
 }
 
 // --- Swap movement (Algorithm 3) --------------------------------------------
@@ -122,14 +170,20 @@ func (s *SwapMovement) withDefaults() {
 
 // Propose implements Movement.
 func (s *SwapMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand) bool {
+	_, ok := s.ProposeDelta(in, sol, dst, r, nil)
+	return ok
+}
+
+// ProposeDelta implements DeltaMovement.
+func (s *SwapMovement) ProposeDelta(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand, buf []int) ([]int, bool) {
 	s.withDefaults()
 	if len(sol.Positions) == 0 {
-		return false
+		return buf[:0], false
 	}
 	if s.density == nil || s.forInst != in {
 		d, err := wmn.NewDensityGrid(in, s.CellW, s.CellH)
 		if err != nil {
-			return false
+			return buf[:0], false
 		}
 		s.density = d
 		s.forInst = in
@@ -140,7 +194,7 @@ func (s *SwapMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solut
 	// Step 3: position of a most dense area (randomized among the top K).
 	denseCands := d.DensestCells(s.TopK, s.ClientWeight, s.RouterWeight)
 	if len(denseCands) == 0 {
-		return false
+		return buf[:0], false
 	}
 	dense := denseCands[r.IntN(len(denseCands))]
 
@@ -149,14 +203,14 @@ func (s *SwapMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solut
 		return cell != dense && d.RouterCount(cell) > 0
 	})
 	if len(sparseCands) == 0 {
-		return false
+		return buf[:0], false
 	}
 	sparse := sparseCands[r.IntN(len(sparseCands))]
 
 	// Step 6: most powerful router within the sparse area.
 	best := extremeRouter(in, d, sol, sparse, true /* mostPowerful */)
 	if best < 0 {
-		return false
+		return buf[:0], false
 	}
 
 	copy(dst.Positions, sol.Positions)
@@ -167,7 +221,7 @@ func (s *SwapMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solut
 	worst := extremeRouter(in, d, sol, dense, false /* mostPowerful */)
 	if worst < 0 || worst == best || r.Float64() < s.VirtualSlotProb {
 		if worst < 0 && s.VirtualSlotProb <= 0 {
-			return false // faithful mode cannot move into an empty cell
+			return buf[:0], false // faithful mode cannot move into an empty cell
 		}
 		// Virtual slot: relocate the sparse area's best router to a
 		// uniform position inside the dense cell.
@@ -176,12 +230,23 @@ func (s *SwapMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solut
 			X: cell.Min.X + r.Float64()*cell.Width(),
 			Y: cell.Min.Y + r.Float64()*cell.Height(),
 		}
-		return true
+		if dst.Positions[best] == sol.Positions[best] {
+			return buf[:0], true
+		}
+		return append(buf[:0], best), true
 	}
 
-	// Step 7: swap the two routers' placements.
+	// Step 7: swap the two routers' placements. When the two routers sit at
+	// the same point the exchange is a no-op and the delta is empty.
 	dst.Positions[worst], dst.Positions[best] = dst.Positions[best], dst.Positions[worst]
-	return true
+	if dst.Positions[worst] == sol.Positions[worst] {
+		return buf[:0], true
+	}
+	lo, hi := worst, best
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return append(buf[:0], lo, hi), true
 }
 
 // extremeRouter returns the index of the most (or least) powerful router in
@@ -215,9 +280,17 @@ func (p PerturbMovement) Name() string { return "Perturb" }
 
 // Propose implements Movement.
 func (p PerturbMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand) bool {
+	_, ok := p.ProposeDelta(in, sol, dst, r, nil)
+	return ok
+}
+
+// ProposeDelta implements DeltaMovement. Clamping can cancel a nudge at the
+// area border, so the delta is empty when the clamped point lands back on
+// the original position.
+func (p PerturbMovement) ProposeDelta(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand, buf []int) ([]int, bool) {
 	n := len(sol.Positions)
 	if n == 0 {
-		return false
+		return buf[:0], false
 	}
 	sigma := p.Sigma
 	if sigma == 0 {
@@ -230,7 +303,10 @@ func (p PerturbMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Sol
 		X: sol.Positions[i].X + r.NormFloat64()*sigma,
 		Y: sol.Positions[i].Y + r.NormFloat64()*sigma,
 	})
-	return true
+	if dst.Positions[i] == sol.Positions[i] {
+		return buf[:0], true
+	}
+	return append(buf[:0], i), true
 }
 
 // --- Composite movement ------------------------------------------------------
@@ -278,6 +354,13 @@ func (m *MixedMovement) Name() string {
 
 // Propose implements Movement.
 func (m *MixedMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand) bool {
+	_, ok := m.ProposeDelta(in, sol, dst, r, nil)
+	return ok
+}
+
+// ProposeDelta implements DeltaMovement, delegating to the drawn
+// sub-movement (through the diff fallback when it is not delta-aware).
+func (m *MixedMovement) ProposeDelta(in *wmn.Instance, sol wmn.Solution, dst wmn.Solution, r *rng.Rand, buf []int) ([]int, bool) {
 	total := 0.0
 	for _, w := range m.Weights {
 		total += w
@@ -286,8 +369,8 @@ func (m *MixedMovement) Propose(in *wmn.Instance, sol wmn.Solution, dst wmn.Solu
 	for i, w := range m.Weights {
 		pick -= w
 		if pick <= 0 {
-			return m.Movements[i].Propose(in, sol, dst, r)
+			return ProposeChanged(m.Movements[i], in, sol, dst, r, buf)
 		}
 	}
-	return m.Movements[len(m.Movements)-1].Propose(in, sol, dst, r)
+	return ProposeChanged(m.Movements[len(m.Movements)-1], in, sol, dst, r, buf)
 }

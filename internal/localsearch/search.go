@@ -56,9 +56,16 @@ func (c Config) Validate() error {
 // PhaseRecord is one point of a search trace: the solution quality after
 // the given phase of neighborhood exploration.
 type PhaseRecord struct {
-	Phase    int         `json:"phase"`
-	Metrics  wmn.Metrics `json:"metrics"`
-	Accepted bool        `json:"accepted"`
+	Phase   int         `json:"phase"`
+	Metrics wmn.Metrics `json:"metrics"`
+	// Accepted reports whether the phase's winning proposal actually
+	// replaced the current solution (improvement for Search/HillClimb,
+	// Metropolis acceptance for Anneal, best non-tabu neighbor for Tabu).
+	Accepted bool `json:"accepted"`
+	// Proposed reports whether the phase generated at least one neighbor;
+	// it distinguishes a rejected proposal from a step where the movement
+	// could not propose at all.
+	Proposed bool `json:"proposed"`
 }
 
 // Result is the outcome of a search run.
@@ -88,32 +95,44 @@ func Search(eval *wmn.Evaluator, initial wmn.Solution, cfg Config, r *rng.Rand) 
 	}
 
 	cur := initial.Clone()
-	curMetrics := eval.MustEvaluate(cur)
+	inc, err := wmn.NewIncrementalEvaluator(eval, cur)
+	if err != nil {
+		return Result{}, fmt.Errorf("localsearch: %w", err)
+	}
+	curMetrics := inc.Metrics()
 	res := Result{Best: cur.Clone(), BestMetrics: curMetrics}
 
 	scratch := wmn.NewSolution(len(cur.Positions))
 	bestNeighbor := wmn.NewSolution(len(cur.Positions))
+	var changed, bestChanged []int
 
 	for phase := 1; phase <= cfg.MaxPhases; phase++ {
 		// Algorithm 2: examine a pre-fixed number of neighbors, keep the
-		// best one.
+		// best one. Each neighbor is evaluated incrementally (apply the
+		// moved routers, read the metrics, revert), so a one-router move
+		// never pays for the full router graph.
 		found := false
 		var foundMetrics wmn.Metrics
 		for k := 0; k < cfg.NeighborsPerPhase; k++ {
-			if !cfg.Movement.Propose(eval.Instance(), cur, scratch, r) {
+			var ok bool
+			changed, ok = ProposeChanged(cfg.Movement, eval.Instance(), cur, scratch, r, changed)
+			if !ok {
 				continue
 			}
-			m := eval.MustEvaluate(scratch)
+			m := inc.Apply(changed, scratch)
+			inc.Revert()
 			res.Evaluations++
 			if !found || m.Fitness > foundMetrics.Fitness {
 				found = true
 				foundMetrics = m
+				bestChanged = append(bestChanged[:0], changed...)
 				copy(bestNeighbor.Positions, scratch.Positions)
 			}
 		}
 
 		improved := found && foundMetrics.Fitness > curMetrics.Fitness
 		if improved {
+			inc.Apply(bestChanged, bestNeighbor)
 			copy(cur.Positions, bestNeighbor.Positions)
 			curMetrics = foundMetrics
 			if curMetrics.Fitness > res.BestMetrics.Fitness {
@@ -123,7 +142,7 @@ func Search(eval *wmn.Evaluator, initial wmn.Solution, cfg Config, r *rng.Rand) 
 		}
 		res.Phases = phase
 		if cfg.RecordTrace {
-			res.Trace = append(res.Trace, PhaseRecord{Phase: phase, Metrics: curMetrics, Accepted: improved})
+			res.Trace = append(res.Trace, PhaseRecord{Phase: phase, Metrics: curMetrics, Accepted: improved, Proposed: found})
 		}
 		if cfg.StopOnNoImprove && !improved {
 			break

@@ -1,0 +1,72 @@
+package scenarios_test
+
+import (
+	"testing"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/rng"
+	"meshplace/internal/scenarios"
+	"meshplace/internal/wmn"
+)
+
+// TestIncrementalEquivalenceAcrossCorpus is the exactness gate for the
+// incremental evaluation engine: on every layout and scale of the v1
+// corpus it drives a random apply/revert walk and demands byte-identical
+// Metrics (== compares the Fitness float bits) against the full evaluator
+// at every step. Because every search driver rides IncrementalEvaluator,
+// this is what keeps suite fingerprints and seeded server cache results
+// unchanged by the incremental rewiring.
+func TestIncrementalEquivalenceAcrossCorpus(t *testing.T) {
+	scs := scenarios.Corpus(11)
+	instances, err := scenarios.GenerateScenarios(scs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 100
+	for i, in := range instances {
+		in := in
+		t.Run(scs[i].Name, func(t *testing.T) {
+			t.Parallel()
+			eval, err := wmn.NewEvaluator(in, wmn.EvalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.DeriveString(11, "equivalence/"+in.Name)
+			n := in.NumRouters()
+			cur := wmn.NewSolution(n)
+			for j := range cur.Positions {
+				cur.Positions[j] = geom.Pt(r.Float64()*in.Width, r.Float64()*in.Height)
+			}
+			ie, err := wmn.NewIncrementalEvaluator(eval, cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := ie.Metrics(), eval.MustEvaluate(cur); got != want {
+				t.Fatalf("initial metrics %v, want %v", got, want)
+			}
+			scratch := cur.Clone()
+			moved := make([]int, 0, 4)
+			for step := 0; step < steps; step++ {
+				copy(scratch.Positions, cur.Positions)
+				moved = moved[:0]
+				for j, k := 0, 1+r.IntN(3); j < k; j++ {
+					idx := r.IntN(n)
+					scratch.Positions[idx] = geom.Pt(r.Float64()*in.Width, r.Float64()*in.Height)
+					moved = append(moved, idx)
+				}
+				got := ie.Apply(moved, scratch)
+				if want := eval.MustEvaluate(scratch); got != want {
+					t.Fatalf("step %d: apply -> %v, want %v", step, got, want)
+				}
+				if r.Float64() < 0.5 {
+					ie.Revert()
+					if got, want := ie.Metrics(), eval.MustEvaluate(cur); got != want {
+						t.Fatalf("step %d: revert -> %v, want %v", step, got, want)
+					}
+				} else {
+					copy(cur.Positions, scratch.Positions)
+				}
+			}
+		})
+	}
+}

@@ -152,6 +152,85 @@ func TestJobEvictionKeepsTableBounded(t *testing.T) {
 	}
 }
 
+// TestEvictLockedSparesUnfinishedJobs drives evictLocked directly on a
+// table far past maxRetainedJobs holding an interleaved mix of finished and
+// still-queued/running jobs, and asserts the invariants the HTTP layer
+// relies on: unfinished jobs are never evicted, eviction stops as soon as
+// the table is back at capacity, and order stays consistent with jobs.
+func TestEvictLockedSparesUnfinishedJobs(t *testing.T) {
+	pool := experiments.NewPool(1)
+	defer pool.Close()
+	q := newJobQueue(pool, 0)
+	spec, _ := ParseSpec("adhoc")
+
+	// Build the table by hand (no pool runs): every 3rd job still queued,
+	// every 7th running, the rest finished.
+	total := maxRetainedJobs + 200
+	unfinished := map[string]bool{}
+	q.mu.Lock()
+	for i := 0; i < total; i++ {
+		q.seq++
+		id := fmt.Sprintf("job-%08d", q.seq)
+		j := &job{view: JobView{ID: id, Status: JobDone, Solver: spec, Seed: uint64(i)}}
+		switch {
+		case i%3 == 0:
+			j.view.Status = JobQueued
+			unfinished[id] = true
+		case i%7 == 0:
+			j.view.Status = JobRunning
+			unfinished[id] = true
+		case i%2 == 0:
+			j.view.Status = JobFailed
+		}
+		q.jobs[id] = j
+		q.order = append(q.order, id)
+	}
+	q.evictLocked()
+	q.mu.Unlock()
+
+	if n := q.len(); n > maxRetainedJobs {
+		t.Errorf("table holds %d jobs after eviction, want ≤ %d", n, maxRetainedJobs)
+	}
+	// Every queued or running job survived.
+	for id := range unfinished {
+		view, ok := q.get(id)
+		if !ok {
+			t.Fatalf("unfinished job %s was evicted", id)
+		}
+		if view.Status != JobQueued && view.Status != JobRunning {
+			t.Fatalf("job %s status %s, want queued/running", id, view.Status)
+		}
+	}
+	// order and jobs describe the same set, without duplicates, preserving
+	// insertion order.
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.order) != len(q.jobs) {
+		t.Fatalf("order has %d entries, jobs has %d", len(q.order), len(q.jobs))
+	}
+	seen := map[string]bool{}
+	prev := ""
+	for _, id := range q.order {
+		if seen[id] {
+			t.Fatalf("order lists %s twice", id)
+		}
+		seen[id] = true
+		if _, ok := q.jobs[id]; !ok {
+			t.Fatalf("order lists %s but jobs does not hold it", id)
+		}
+		if id <= prev { // zero-padded sequential ids sort lexically
+			t.Fatalf("order not ascending: %s after %s", id, prev)
+		}
+		prev = id
+	}
+	// Eviction is oldest-first: it stops once within capacity, so the
+	// newest finished jobs are retained.
+	newest := fmt.Sprintf("job-%08d", total)
+	if _, ok := q.jobs[newest]; !ok {
+		t.Error("newest job was evicted")
+	}
+}
+
 func TestJobBacklogLimitRejectsThenRecovers(t *testing.T) {
 	pool := experiments.NewPool(1)
 	defer pool.Close()

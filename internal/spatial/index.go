@@ -13,9 +13,9 @@ import (
 	"meshplace/internal/geom"
 )
 
-// Index is a bucket grid over a fixed set of points. Build once per
-// evaluation; queries never mutate it, so an Index is safe for concurrent
-// readers.
+// Index is a bucket grid over a set of points. Queries never mutate it, so
+// an Index is safe for concurrent readers; Move relocates a single point
+// between buckets and must not race with queries.
 type Index struct {
 	grid    geom.Grid
 	points  []geom.Point
@@ -48,6 +48,38 @@ func NewIndex(area geom.Rect, points []geom.Point, cellSize float64) (*Index, er
 
 // Len returns the number of indexed points.
 func (ix *Index) Len() int { return len(ix.points) }
+
+// Position returns the current position of the indexed point id.
+func (ix *Index) Position(id int) geom.Point { return ix.points[id] }
+
+// Move relocates the point id to p, moving it between buckets instead of
+// rebuilding the grid — the O(bucket) primitive behind incremental
+// re-evaluation of one-router-moved neighbors. The backing points slice is
+// updated in place. Visit order within the destination bucket follows move
+// order, which is deterministic for a deterministic op sequence but differs
+// from a fresh build; callers must not depend on visit order across moves.
+func (ix *Index) Move(id int, p geom.Point) {
+	if id < 0 || id >= len(ix.points) {
+		panic(fmt.Sprintf("spatial: move of point %d outside [0,%d)", id, len(ix.points)))
+	}
+	from := ix.grid.CellIndex(ix.points[id])
+	to := ix.grid.CellIndex(p)
+	ix.points[id] = p
+	if from == to {
+		return
+	}
+	b := ix.buckets[from]
+	for i, v := range b {
+		if int(v) == id {
+			// Order within a bucket only affects visit order, never
+			// membership, so the cheap swap-remove is safe.
+			b[i] = b[len(b)-1]
+			ix.buckets[from] = b[:len(b)-1]
+			break
+		}
+	}
+	ix.buckets[to] = append(ix.buckets[to], int32(id))
+}
 
 // VisitWithin calls fn with the id of every indexed point within distance r
 // of center (inclusive). Order of visits is deterministic: bucket by

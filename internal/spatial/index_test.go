@@ -141,6 +141,70 @@ func TestCountWithinMatchesWithin(t *testing.T) {
 	}
 }
 
+// TestIndexMoveMatchesBruteForce drives a long random move sequence and
+// checks after every move that queries still return exactly the brute-force
+// membership — the property the incremental evaluator's lazily-maintained
+// router index rests on.
+func TestIndexMoveMatchesBruteForce(t *testing.T) {
+	area := geom.Area(128, 128)
+	pts := randomPoints(2, 300, area)
+	idx, err := NewIndex(area, pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for step := 0; step < 500; step++ {
+		id := r.IntN(len(pts))
+		to := geom.Pt(r.Float64()*128, r.Float64()*128)
+		idx.Move(id, to)
+		if got := idx.Position(id); got != to {
+			t.Fatalf("step %d: Position(%d) = %v, want %v", step, id, got, to)
+		}
+		center := geom.Pt(r.Float64()*128, r.Float64()*128)
+		radius := r.Float64() * 16
+		got := idx.Within(center, radius)
+		want := bruteWithin(pts, center, radius) // pts mutated in place by Move
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d hits, want %d", step, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: hit %d = %d, want %d", step, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIndexMoveWithinSameBucket(t *testing.T) {
+	area := geom.Area(10, 10)
+	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(9, 9)}
+	idx, err := NewIndex(area, pts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Move(0, geom.Pt(2, 2)) // same 5×5 bucket
+	if got := idx.CountWithin(geom.Pt(2, 2), 0.5); got != 1 {
+		t.Errorf("after in-bucket move: %d hits at new position, want 1", got)
+	}
+	if got := idx.CountWithin(geom.Pt(1, 1), 0.5); got != 0 {
+		t.Errorf("after in-bucket move: %d hits at old position, want 0", got)
+	}
+}
+
+func TestIndexMoveOutOfRangePanics(t *testing.T) {
+	idx, err := NewIndex(geom.Area(10, 10), []geom.Point{geom.Pt(1, 1)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Move(5, ...) on a 1-point index did not panic")
+		}
+	}()
+	idx.Move(5, geom.Pt(2, 2))
+}
+
 func TestIndexVisitDeterministicOrder(t *testing.T) {
 	area := geom.Area(32, 32)
 	pts := randomPoints(4, 100, area)

@@ -205,37 +205,28 @@ func (e *Evaluator) MustEvaluate(sol Solution) Metrics {
 	return m
 }
 
+// newRouterIndex builds the per-evaluation router index. A package variable
+// so tests can force index construction to fail and pin the brute-force
+// fallback below.
+var newRouterIndex = spatial.NewIndex
+
 // buildRouterGraph links routers according to the link model.
 func (e *Evaluator) buildRouterGraph(sol Solution) *graph.Graph {
 	n := len(sol.Positions)
 	g := graph.New(n)
 	if e.opts.BruteForce || n <= smallN {
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				if e.linked(sol, i, j) {
-					_ = g.AddEdge(i, j) // indices in range by construction
-				}
-			}
-		}
-		return g
+		return e.bruteForceLinks(sol, g)
 	}
 	// Index router positions; candidate pairs are within 2·rmax.
 	cell := 2 * e.inst.MaxRadius()
 	if cell <= 0 {
 		cell = 1
 	}
-	idx, err := spatial.NewIndex(e.inst.Area(), sol.Positions, cell)
+	idx, err := newRouterIndex(e.inst.Area(), sol.Positions, cell)
 	if err != nil {
 		// The area is validated non-empty, so this cannot happen; fall
 		// back to the exact scan rather than failing evaluation.
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				if e.linked(sol, i, j) {
-					_ = g.AddEdge(i, j)
-				}
-			}
-		}
-		return g
+		return e.bruteForceLinks(sol, g)
 	}
 	reach := 2 * e.inst.MaxRadius()
 	for i := 0; i < n; i++ {
@@ -244,6 +235,21 @@ func (e *Evaluator) buildRouterGraph(sol Solution) *graph.Graph {
 				_ = g.AddEdge(i, j)
 			}
 		})
+	}
+	return g
+}
+
+// bruteForceLinks adds every linked pair with the exact O(N²) scan — the
+// single implementation behind both the smallN fast path and the
+// index-construction fallback, so the two can never drift.
+func (e *Evaluator) bruteForceLinks(sol Solution, g *graph.Graph) *graph.Graph {
+	n := len(sol.Positions)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if e.linked(sol, i, j) {
+				_ = g.AddEdge(i, j) // indices in range by construction
+			}
+		}
 	}
 	return g
 }

@@ -1,6 +1,7 @@
 package wmn
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"meshplace/internal/geom"
 	"meshplace/internal/rng"
+	"meshplace/internal/spatial"
 )
 
 // chainInstance builds n routers of fixed radius in a 100×100 area with no
@@ -212,6 +214,36 @@ func TestIndexedMatchesBruteForce(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRouterIndexFallbackMatchesIndexedPath forces router-index
+// construction to fail, driving evaluation through the brute-force
+// fallback, and checks it agrees exactly with the indexed path — the two
+// O(N²) scans are one helper now, and this pins that the fallback is
+// reachable and correct.
+func TestRouterIndexFallbackMatchesIndexedPath(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumRouters = smallN + 10 // past the threshold, so the index path is taken
+	in, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := mustEval(t, in, EvalOptions{})
+	r := rng.New(5)
+	sol := NewSolution(in.NumRouters())
+	for i := range sol.Positions {
+		sol.Positions[i] = geom.Pt(r.Float64()*in.Width, r.Float64()*in.Height)
+	}
+	want := eval.MustEvaluate(sol)
+
+	orig := newRouterIndex
+	newRouterIndex = func(area geom.Rect, points []geom.Point, cellSize float64) (*spatial.Index, error) {
+		return nil, errors.New("forced index failure")
+	}
+	defer func() { newRouterIndex = orig }()
+	if got := eval.MustEvaluate(sol); got != want {
+		t.Errorf("fallback metrics %v, want %v", got, want)
 	}
 }
 

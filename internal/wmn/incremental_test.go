@@ -1,0 +1,218 @@
+package wmn
+
+import (
+	"fmt"
+	"testing"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/rng"
+)
+
+func randomTestSolution(in *Instance, r *rng.Rand) Solution {
+	sol := NewSolution(in.NumRouters())
+	for i := range sol.Positions {
+		sol.Positions[i] = geom.Pt(r.Float64()*in.Width, r.Float64()*in.Height)
+	}
+	return sol
+}
+
+// driveEquivalence runs a random apply/revert walk and asserts after every
+// operation that the incremental metrics equal the full evaluator's — the
+// struct compares with ==, so the check covers the Fitness bits too.
+func driveEquivalence(t *testing.T, in *Instance, opts EvalOptions, seed uint64, steps int) {
+	t.Helper()
+	eval := mustEval(t, in, opts)
+	r := rng.New(seed)
+	cur := randomTestSolution(in, r)
+	ie, err := NewIncrementalEvaluator(eval, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ie.Metrics(), eval.MustEvaluate(cur); got != want {
+		t.Fatalf("initial metrics %v, want %v", got, want)
+	}
+	n := in.NumRouters()
+	scratch := cur.Clone()
+	moved := make([]int, 0, 4)
+	for step := 0; step < steps; step++ {
+		copy(scratch.Positions, cur.Positions)
+		moved = moved[:0]
+		// Move 1–3 routers; duplicates are legal and must be deduped.
+		for j, k := 0, 1+r.IntN(3); j < k; j++ {
+			i := r.IntN(n)
+			scratch.Positions[i] = geom.Pt(r.Float64()*in.Width, r.Float64()*in.Height)
+			moved = append(moved, i)
+		}
+		got := ie.Apply(moved, scratch)
+		if want := eval.MustEvaluate(scratch); got != want {
+			t.Fatalf("step %d: apply %v -> %v, want %v", step, moved, got, want)
+		}
+		if r.Float64() < 0.5 {
+			ie.Revert()
+			if got, want := ie.Metrics(), eval.MustEvaluate(cur); got != want {
+				t.Fatalf("step %d: revert -> %v, want %v", step, got, want)
+			}
+		} else {
+			copy(cur.Positions, scratch.Positions)
+		}
+	}
+}
+
+// TestIncrementalMatchesFullEvaluator fuzzes every model combination across
+// both evaluation regimes: below smallN (brute-force pair scan) and above it
+// (the moving spatial index).
+func TestIncrementalMatchesFullEvaluator(t *testing.T) {
+	small := DefaultGenConfig() // 64 routers: brute-force regime
+	large := DefaultGenConfig()
+	large.NumRouters = smallN + 22 // index regime
+	large.Name = "base-large"
+	for _, size := range []GenConfig{small, large} {
+		in, err := Generate(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			name string
+			opts EvalOptions
+		}{
+			{"default", EvalOptions{}},
+			{"unit-disk", EvalOptions{Link: LinkUnitDisk}},
+			{"giant-only", EvalOptions{Coverage: CoverGiantOnly}},
+			{"brute-force", EvalOptions{BruteForce: true}},
+			{"unit-giant", EvalOptions{Link: LinkUnitDisk, Coverage: CoverGiantOnly}},
+		} {
+			t.Run(fmt.Sprintf("%s/%s", size.Name, tc.name), func(t *testing.T) {
+				driveEquivalence(t, in, tc.opts, 7, 120)
+			})
+		}
+	}
+}
+
+// FuzzIncrementalApplyRevert lets the fuzzer pick the walk: every seed
+// drives a fresh apply/revert sequence checked move by move against the
+// full evaluator. `go test -fuzz FuzzIncrementalApplyRevert` explores
+// beyond the deterministic corpus of TestIncrementalMatchesFullEvaluator.
+func FuzzIncrementalApplyRevert(f *testing.F) {
+	in, err := Generate(DefaultGenConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed, seed%3)
+	}
+	f.Fuzz(func(t *testing.T, seed, model uint64) {
+		opts := EvalOptions{}
+		switch model % 3 {
+		case 1:
+			opts.Coverage = CoverGiantOnly
+		case 2:
+			opts.Link = LinkUnitDisk
+		}
+		driveEquivalence(t, in, opts, seed, 25)
+	})
+}
+
+// TestIncrementalNoClients pins the coverage-free fitness path.
+func TestIncrementalNoClients(t *testing.T) {
+	in := chainInstance(12, 2)
+	driveEquivalence(t, in, EvalOptions{}, 3, 80)
+}
+
+func TestIncrementalRebase(t *testing.T) {
+	in, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := mustEval(t, in, EvalOptions{})
+	r := rng.New(11)
+	ie, err := NewIncrementalEvaluator(eval, randomTestSolution(in, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 30; step++ {
+		// Arbitrary targets: rebase must handle any diff size, including a
+		// full replacement and a no-op.
+		target := randomTestSolution(in, r)
+		if got, want := ie.Rebase(target), eval.MustEvaluate(target); got != want {
+			t.Fatalf("step %d: rebase -> %v, want %v", step, got, want)
+		}
+		if got := ie.Rebase(target); got != ie.Metrics() {
+			t.Fatalf("step %d: no-op rebase changed metrics", step)
+		}
+	}
+}
+
+func TestIncrementalRevertAfterRebase(t *testing.T) {
+	in, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := mustEval(t, in, EvalOptions{})
+	r := rng.New(13)
+	base := randomTestSolution(in, r)
+	ie, err := NewIncrementalEvaluator(eval, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie.Rebase(randomTestSolution(in, r))
+	ie.Revert()
+	if got, want := ie.Metrics(), eval.MustEvaluate(base); got != want {
+		t.Fatalf("revert after rebase -> %v, want %v", got, want)
+	}
+	for i := range base.Positions {
+		if ie.Position(i) != base.Positions[i] {
+			t.Fatalf("router %d at %v after revert, want %v", i, ie.Position(i), base.Positions[i])
+		}
+	}
+}
+
+func TestIncrementalCopyCurrent(t *testing.T) {
+	in := chainInstance(5, 2)
+	eval := mustEval(t, in, EvalOptions{})
+	sol := Solution{Positions: []geom.Point{
+		geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(3, 3), geom.Pt(4, 4), geom.Pt(5, 5),
+	}}
+	ie, err := NewIncrementalEvaluator(eval, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tracked state is a copy: mutating the input must not leak in.
+	sol.Positions[0] = geom.Pt(9, 9)
+	out := NewSolution(5)
+	ie.CopyCurrent(out)
+	if out.Positions[0] != geom.Pt(1, 1) {
+		t.Errorf("tracked solution aliases the caller's: %v", out.Positions[0])
+	}
+	if ie.Evaluator() != eval {
+		t.Error("Evaluator() does not return the wrapped evaluator")
+	}
+}
+
+func TestIncrementalStructuralPanics(t *testing.T) {
+	in := chainInstance(3, 2)
+	eval := mustEval(t, in, EvalOptions{})
+	if _, err := NewIncrementalEvaluator(eval, NewSolution(2)); err == nil {
+		t.Error("wrong-length starting solution accepted")
+	}
+	ie, err := NewIncrementalEvaluator(eval, NewSolution(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Apply with wrong length", func() { ie.Apply(nil, NewSolution(2)) })
+	mustPanic("Apply with out-of-range index", func() { ie.Apply([]int{7}, NewSolution(3)) })
+	mustPanic("Rebase with wrong length", func() { ie.Rebase(NewSolution(1)) })
+	mustPanic("CopyCurrent with wrong length", func() { ie.CopyCurrent(NewSolution(1)) })
+	mustPanic("Revert before Apply", func() { ie.Revert() })
+	ie.Apply([]int{0}, Solution{Positions: []geom.Point{geom.Pt(1, 1), {}, {}}})
+	ie.Revert()
+	mustPanic("double Revert", func() { ie.Revert() })
+}

@@ -64,6 +64,11 @@ type (
 	// Evaluator measures solutions against one instance; safe for
 	// concurrent use.
 	Evaluator = wmn.Evaluator
+	// IncrementalEvaluator tracks one evolving solution and re-evaluates
+	// neighbors in O(moved routers) per step instead of re-scanning the
+	// whole instance; every search driver rides it internally. Not safe
+	// for concurrent use.
+	IncrementalEvaluator = wmn.IncrementalEvaluator
 	// Weights combines connectivity and coverage into a scalar fitness.
 	Weights = wmn.Weights
 	// LinkModel selects when two routers are considered connected.
@@ -113,6 +118,14 @@ func NewEvaluator(in *Instance, opts EvalOptions) (*Evaluator, error) {
 
 // DefaultWeights returns the 0.7 connectivity / 0.3 coverage fitness split.
 func DefaultWeights() Weights { return wmn.DefaultWeights() }
+
+// NewIncrementalEvaluator wraps the evaluator's instance plus a starting
+// solution for O(Δ) re-evaluation: Apply moves some routers and returns the
+// new metrics (identical, bit for bit, to Evaluate on the same positions),
+// Revert undoes the latest Apply, Rebase diffs against an arbitrary target.
+func NewIncrementalEvaluator(eval *Evaluator, sol Solution) (*IncrementalEvaluator, error) {
+	return wmn.NewIncrementalEvaluator(eval, sol)
+}
 
 // UniformClients describes clients spread uniformly over the area.
 func UniformClients() DistSpec { return dist.UniformSpec() }

@@ -13,6 +13,11 @@ type (
 	// Movement generates neighboring solutions; the neighborhood search,
 	// hill climber, annealer and tabu search all consume Movements.
 	Movement = localsearch.Movement
+	// DeltaMovement is a Movement whose proposals also report which router
+	// indices they changed, feeding the incremental evaluation hot path
+	// directly. Movements that don't implement it still work: the drivers
+	// recover the changed set with a positions diff.
+	DeltaMovement = localsearch.DeltaMovement
 	// SearchConfig drives NeighborhoodSearch (Algorithms 1 and 2).
 	SearchConfig = localsearch.Config
 	// SearchResult is the outcome of any of the search drivers.
