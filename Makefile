@@ -1,7 +1,15 @@
 # Tier-1 gate (see ROADMAP.md): `make ci` must pass before any commit.
+# .github/workflows/ci.yml runs the same targets on every push/PR, plus a
+# gofmt check, a fuzz smoke and the benchdiff regression gate.
 GO ?= go
 
-.PHONY: ci vet build test race bench
+# Per-PR benchmark stream: override for a scratch run, e.g.
+#   make bench BENCH_OUT=BENCH_CI.json
+BENCH_OUT ?= BENCH_PR5.json
+# Committed baseline the regression check diffs against.
+BENCH_BASELINE ?= BENCH_PR4.json
+
+.PHONY: ci vet build test race bench benchdiff fmt-check fuzz-smoke
 
 ci: vet build race
 
@@ -23,11 +31,33 @@ race:
 
 # Benchmarks only (includes the worker-pool scaling benchmark in
 # internal/experiments, the corpus/suite benchmarks in internal/scenarios,
-# and BenchmarkIncrementalVsFull in internal/wmn — the per-neighbor
-# incremental-vs-full evaluation comparison at paper and 10× scale). The
-# test2json event stream is written to BENCH_PR4.json so the perf
-# trajectory is recorded per PR and can be diffed across commits.
+# BenchmarkIncrementalVsFull in internal/wmn — the per-neighbor
+# incremental-vs-full evaluation comparison at paper and 10× scale — and
+# BenchmarkIslandScaling in internal/ga, the islands × workers grid). The
+# test2json event stream is written to $(BENCH_OUT) so the perf trajectory
+# is recorded per PR and can be diffed across commits with `make benchdiff`.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 3x -json ./... > BENCH_PR4.json
-	$(GO) test -run '^$$' -bench BenchmarkIncrementalVsFull -benchtime 1000x -json ./internal/wmn >> BENCH_PR4.json
-	@echo "wrote BENCH_PR4.json ($$(wc -l < BENCH_PR4.json) events)"
+	$(GO) test -run '^$$' -bench . -benchtime 3x -json ./... > $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench BenchmarkIncrementalVsFull -benchtime 1000x -json ./internal/wmn >> $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT) ($$(wc -l < $(BENCH_OUT)) events)"
+
+# Per-benchmark ns/op deltas between the committed baseline stream and the
+# current one; non-zero exit when a gated benchmark (default
+# BenchmarkIncrementalVsFull) slows down more than 25%.
+benchdiff:
+	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $(BENCH_OUT)
+
+# Source formatting check (CI fails on drift; gofmt -l prints offenders).
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# 10-second fuzz pass per target: the spec parsers (dist and server) and
+# the incremental-evaluator apply/revert walk. `go test -fuzz` takes one
+# target per invocation, hence three runs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime 10s ./internal/dist
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzIncrementalApplyRevert$$' -fuzztime 10s ./internal/wmn

@@ -1,0 +1,181 @@
+// Command benchdiff compares two benchmark runs recorded as `go test -json`
+// (test2json) event streams — the BENCH_*.json files `make bench` writes
+// per PR — and reports the per-benchmark ns/op delta.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_PR4.json -new BENCH_PR5.json [-threshold 25] [-fail regexp]
+//
+// Every benchmark present in both files is listed with its old and new
+// ns/op and the relative change. Benchmarks matching -fail (default
+// ^BenchmarkIncrementalVsFull, the incremental-evaluation hot path the
+// search loops ride) additionally gate the exit status: a slowdown above
+// -threshold percent makes benchdiff exit non-zero, which is how the CI
+// workflow turns the committed perf trajectory into a regression check.
+//
+// A benchmark that appears several times in one stream (e.g. the
+// high-iteration second BenchmarkIncrementalVsFull pass) is reduced to its
+// minimum ns/op — the least-noisy observation, as benchstat does.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "baseline test2json stream (e.g. the committed previous-PR BENCH_*.json)")
+	newPath := fs.String("new", "", "candidate test2json stream to compare against the baseline")
+	threshold := fs.Float64("threshold", 25, "maximum tolerated slowdown of gated benchmarks, in percent")
+	failPat := fs.String("fail", "^BenchmarkIncrementalVsFull", "regexp of benchmark names gating the exit status")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("both -old and -new are required")
+	}
+	if *threshold < 0 {
+		return fmt.Errorf("-threshold %g is negative", *threshold)
+	}
+	gate, err := regexp.Compile(*failPat)
+	if err != nil {
+		return fmt.Errorf("-fail: %w", err)
+	}
+
+	oldRes, err := parseBenchFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := parseBenchFile(*newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	fmt.Fprintf(stdout, "%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		after := newRes[name]
+		before, ok := oldRes[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-64s %14s %14.1f %9s\n", name, "-", after, "new")
+			continue
+		}
+		delta := 100 * (after - before) / before
+		marker := ""
+		if gate.MatchString(name) {
+			marker = " *"
+			if delta > *threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.1f ns/op -> %.1f ns/op (%+.1f%% > %g%%)", name, before, after, delta, *threshold))
+			}
+		}
+		fmt.Fprintf(stdout, "%-64s %14.1f %14.1f %+8.1f%%%s\n", name, before, after, delta, marker)
+	}
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			fmt.Fprintf(stdout, "%-64s %14.1f %14s %9s\n", name, oldRes[name], "-", "gone")
+		}
+	}
+	fmt.Fprintf(stdout, "compared %d benchmarks (* = gated by %q at %g%%)\n", len(names), *failPat, *threshold)
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d gated benchmark(s) regressed:\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// event is the slice of the test2json record shape benchdiff needs.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// test2json splits benchmark output unpredictably: a result line sometimes
+// arrives as "BenchmarkX-8 \t 3 \t 123 ns/op" in one Output and sometimes
+// as a bare " 3 \t 123 ns/op" whose name only lives in the event's Test
+// field. The Test field is authoritative when present (and carries no
+// GOMAXPROCS -N suffix, keeping runs from different machines comparable);
+// the embedded name, suffix stripped, is the fallback.
+var (
+	benchNameRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?(?:\s|$)`)
+	benchNsRe   = regexp.MustCompile(`(?:^|\s)(\d+(?:\.\d+)?(?:[eE][+-]?\d+)?) ns/op`)
+)
+
+// parseBenchFile reads one test2json stream and returns the minimum ns/op
+// per benchmark name.
+func parseBenchFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	res := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a test2json stream: %w", path, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		out := strings.TrimSpace(ev.Output)
+		ns := benchNsRe.FindStringSubmatch(out)
+		if ns == nil {
+			continue
+		}
+		name := ev.Test
+		if name == "" {
+			if m := benchNameRe.FindStringSubmatch(out); m != nil {
+				name = m[1]
+			}
+		}
+		if !strings.HasPrefix(name, "Benchmark") {
+			continue
+		}
+		nsPerOp, err := strconv.ParseFloat(ns[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: benchmark %s: bad ns/op %q", path, name, ns[1])
+		}
+		if cur, ok := res[name]; !ok || nsPerOp < cur {
+			res[name] = nsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixture(name string) string { return filepath.Join("testdata", name) }
+
+func TestParseBenchFile(t *testing.T) {
+	res, err := parseBenchFile(fixture("bench_old.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkIncrementalVsFull/paper/incremental":      1000,
+		"BenchmarkIncrementalVsFull/10x/incremental":        5000,
+		"BenchmarkIslandScaling/islands=4/workers=1/pop=16": 6900000,
+		"BenchmarkTable1": 314879974,
+		"BenchmarkGone":   100,
+	}
+	if len(res) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(res), len(want), res)
+	}
+	for name, ns := range want {
+		if res[name] != ns {
+			t.Errorf("%s = %g ns/op, want %g", name, res[name], ns)
+		}
+	}
+}
+
+func TestParseBenchFileStripsGOMAXPROCSSuffix(t *testing.T) {
+	// The first fixture line embeds the name as ...incremental-8; the
+	// parsed name must not carry the -8.
+	res, err := parseBenchFile(fixture("bench_old.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range res {
+		if strings.HasSuffix(name, "-8") {
+			t.Errorf("name %q kept its GOMAXPROCS suffix", name)
+		}
+	}
+}
+
+func TestRunWithinThresholdSucceeds(t *testing.T) {
+	// The gated benchmarks move +10% and -10%; the 190% regression on
+	// BenchmarkIslandScaling and the 100%-slower BenchmarkGone removal do
+	// not gate the exit status.
+	var out strings.Builder
+	err := run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ok.json")}, &out)
+	if err != nil {
+		t.Fatalf("within-threshold diff failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"BenchmarkIncrementalVsFull/paper/incremental", "new", "gone", "compared"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRegressionFailsAboveThreshold(t *testing.T) {
+	// +40% on a gated benchmark against the default 25% threshold.
+	var out strings.Builder
+	err := run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_regressed.json")}, &out)
+	if err == nil {
+		t.Fatalf("40%% regression on a gated benchmark passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkIncrementalVsFull/paper/incremental") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+	// The +2% sibling stayed under threshold and must not be reported.
+	if strings.Contains(err.Error(), "10x") {
+		t.Errorf("error names a non-regressed benchmark: %v", err)
+	}
+}
+
+func TestRunThresholdFlag(t *testing.T) {
+	// Raising the threshold above the regression passes; tightening it
+	// catches even the ok fixture's +10%.
+	if err := run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_regressed.json"),
+		"-threshold", "50"}, &strings.Builder{}); err != nil {
+		t.Errorf("50%% threshold rejected a 40%% regression: %v", err)
+	}
+	if err := run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ok.json"),
+		"-threshold", "5"}, &strings.Builder{}); err == nil {
+		t.Error("5% threshold accepted a 10% regression")
+	}
+}
+
+func TestRunFailRegexpFlag(t *testing.T) {
+	// Gating on the island benchmark catches its regression in the
+	// otherwise-ok fixture.
+	err := run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ok.json"),
+		"-fail", "^BenchmarkIslandScaling"}, &strings.Builder{})
+	if err == nil {
+		t.Error("island-gated diff missed the island regression")
+	}
+}
+
+func TestRunInputErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-old", fixture("bench_old.json")},
+		{"-old", fixture("bench_old.json"), "-new", "testdata/definitely-missing.json"},
+		{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ok.json"), "-fail", "("},
+		{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ok.json"), "-threshold", "-3"},
+		{"-old", "main.go", "-new", fixture("bench_new_ok.json")},
+	}
+	for _, args := range cases {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

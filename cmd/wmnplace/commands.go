@@ -201,7 +201,12 @@ func runGA(args []string) error {
 	inst.register(fs)
 	initMethod := fs.String("init", "HotSpot", "ad hoc method initializing the population")
 	generations := fs.Int("generations", 800, "number of generations")
-	pop := fs.Int("pop", 64, "population size")
+	pop := fs.Int("pop", 64, "population size (per island when -islands > 1)")
+	islands := fs.Int("islands", 1, "concurrently evolving populations (1 = classic single population)")
+	migrateEvery := fs.Int("migrate-every", 10, "generations between island migration barriers")
+	migrants := fs.Int("migrants", 2, "elite emigrants per migration edge")
+	topology := fs.String("topology", "ring", "island migration topology: ring or complete")
+	workers := fs.Int("workers", 0, "concurrent island workers (0 = one per CPU); does not change results")
 	history := fs.Bool("history", false, "print the recorded evolution history")
 	solOut := fs.String("out", "", "write the best solution as JSON to this path")
 	if err := fs.Parse(args); err != nil {
@@ -226,6 +231,37 @@ func runGA(args []string) error {
 	cfg := meshplace.DefaultGAConfig()
 	cfg.Generations = *generations
 	cfg.PopSize = *pop
+
+	if *islands > 1 {
+		top, err := meshplace.ParseGATopology(*topology)
+		if err != nil {
+			return err
+		}
+		icfg := meshplace.IslandGAConfig{
+			Config:       cfg,
+			Islands:      *islands,
+			MigrateEvery: *migrateEvery,
+			Migrants:     *migrants,
+			Topology:     top,
+			FanOut:       meshplace.IslandFanOut(*workers),
+		}
+		res, err := meshplace.RunIslandGA(eval, init, icfg, inst.seed)
+		if err != nil {
+			return err
+		}
+		if *history {
+			for i, island := range res.Islands {
+				for _, rec := range island.History {
+					fmt.Printf("island %d gen %4d: giant=%2d covered=%3d fitness=%.4f mean=%.4f\n",
+						i, rec.Generation, rec.BestGiant, rec.BestCovered, rec.BestFitness, rec.MeanFitness)
+				}
+			}
+		}
+		fmt.Printf("island GA (%s init, %d islands on %s, %d generations, %d migrations, %d evaluations): best from island %d: %s\n",
+			m, *islands, top, *generations, res.Migrations, res.Evaluations, res.BestIsland, res.BestMetrics)
+		return writeSolution(*solOut, res.Best)
+	}
+
 	res, err := meshplace.RunGA(eval, init, cfg, inst.seed)
 	if err != nil {
 		return err

@@ -8,7 +8,7 @@
 //	wmnplace instance   [flags]   generate an instance and write it as JSON
 //	wmnplace place      [flags]   run one ad hoc placement method
 //	wmnplace search     [flags]   run the neighborhood search (swap/random)
-//	wmnplace ga         [flags]   run the GA from an ad hoc initializer
+//	wmnplace ga         [flags]   run the GA from an ad hoc initializer (-islands for the island model)
 //	wmnplace analyze    [flags]   map, per-router report and robustness sweep
 //	wmnplace experiment [flags] <table1|table2|table3|fig1|fig2|fig3|fig4|all>
 //	wmnplace suite      [flags]   sweep solvers over the scenario corpus (see internal/scenarios)

@@ -256,78 +256,109 @@ func Run(eval *wmn.Evaluator, init Initializer, cfg Config, r *rng.Rand) (Result
 	if init == nil {
 		return Result{}, errors.New("ga: nil initializer")
 	}
-	in := eval.Instance()
+	ru, err := newRun(eval, init, cfg, r)
+	if err != nil {
+		return Result{}, err
+	}
+	ru.evolve(1, cfg.Generations)
+	return ru.res, nil
+}
 
+// run is the GA engine behind Run and RunIslands: the population state of
+// one evolving stream, advanced in generation chunks so the island model
+// can pause every population at a migration barrier, exchange individuals
+// and resume — with exactly the RNG draws a straight Run would make.
+type run struct {
+	cfg       Config
+	in        *wmn.Instance
+	inc       *wmn.IncrementalEvaluator
+	r         *rng.Rand
+	pop, next []individual
+	bestGiant int
+	res       Result
+}
+
+// newRun draws and scores the initial population. cfg must already be
+// validated with defaults applied.
+func newRun(eval *wmn.Evaluator, init Initializer, cfg Config, r *rng.Rand) (*run, error) {
+	in := eval.Instance()
 	sols, err := init.InitPopulation(in, cfg.PopSize, r)
 	if err != nil {
-		return Result{}, fmt.Errorf("ga: init population: %w", err)
+		return nil, fmt.Errorf("ga: init population: %w", err)
 	}
 	if len(sols) != cfg.PopSize {
-		return Result{}, fmt.Errorf("ga: initializer produced %d individuals, want %d", len(sols), cfg.PopSize)
+		return nil, fmt.Errorf("ga: initializer produced %d individuals, want %d", len(sols), cfg.PopSize)
 	}
 
-	var res Result
-	pop := make([]individual, cfg.PopSize)
+	ru := &run{cfg: cfg, in: in, r: r, pop: make([]individual, cfg.PopSize)}
 	for i, s := range sols {
 		if err := s.Validate(in); err != nil {
-			return Result{}, fmt.Errorf("ga: initial individual %d: %w", i, err)
+			return nil, fmt.Errorf("ga: initial individual %d: %w", i, err)
 		}
-		pop[i] = individual{sol: s, metrics: eval.MustEvaluate(s)}
-		res.Evaluations++
+		ru.pop[i] = individual{sol: s, metrics: eval.MustEvaluate(s)}
+		ru.res.Evaluations++
 	}
 	// Offspring are scored on the incremental path: the evaluator rebases
 	// from child to child, paying only for the genes that differ. Random
 	// early populations rebase almost everything; as the population
 	// converges the diffs — and the evaluation cost — shrink.
-	inc, err := wmn.NewIncrementalEvaluator(eval, pop[0].sol)
+	inc, err := wmn.NewIncrementalEvaluator(eval, ru.pop[0].sol)
 	if err != nil {
-		return Result{}, fmt.Errorf("ga: incremental evaluator: %w", err)
+		return nil, fmt.Errorf("ga: incremental evaluator: %w", err)
 	}
-	sortByFitness(pop)
-	res.Best = pop[0].sol.Clone()
-	res.BestMetrics = pop[0].metrics
-	bestGiant := pop[0].metrics.GiantSize
+	ru.inc = inc
+	sortByFitness(ru.pop)
+	ru.res.Best = ru.pop[0].sol.Clone()
+	ru.res.BestMetrics = ru.pop[0].metrics
+	ru.bestGiant = ru.pop[0].metrics.GiantSize
 
-	next := make([]individual, cfg.PopSize)
-	for i := range next {
-		next[i].sol = wmn.NewSolution(in.NumRouters())
+	ru.next = make([]individual, cfg.PopSize)
+	for i := range ru.next {
+		ru.next[i].sol = wmn.NewSolution(in.NumRouters())
 	}
+	return ru, nil
+}
 
-	for gen := 1; gen <= cfg.Generations; gen++ {
+// evolve advances the population from generation `from` through `to`
+// (inclusive). History records land every cfg.RecordEvery generations plus
+// at cfg.Generations — the run's final generation, not the chunk's — so
+// chunked evolution records exactly what one evolve(1, Generations) would.
+func (ru *run) evolve(from, to int) {
+	cfg, r := ru.cfg, ru.r
+	for gen := from; gen <= to; gen++ {
 		// Elites survive unchanged.
 		for e := 0; e < cfg.Elitism; e++ {
-			copy(next[e].sol.Positions, pop[e].sol.Positions)
-			next[e].metrics = pop[e].metrics
+			copy(ru.next[e].sol.Positions, ru.pop[e].sol.Positions)
+			ru.next[e].metrics = ru.pop[e].metrics
 		}
 		// Offspring fill the rest.
 		for i := cfg.Elitism; i < cfg.PopSize; i++ {
-			child := next[i].sol
-			a := selectParent(pop, cfg, r)
+			child := ru.next[i].sol
+			a := selectParent(ru.pop, cfg, r)
 			if r.Float64() < cfg.CrossoverRate {
-				b := selectParent(pop, cfg, r)
-				crossover(in, a.sol, b.sol, child, cfg, r)
+				b := selectParent(ru.pop, cfg, r)
+				crossover(ru.in, a.sol, b.sol, child, cfg, r)
 			} else {
 				copy(child.Positions, a.sol.Positions)
 			}
-			mutate(in, child, cfg, r)
-			next[i].metrics = inc.Rebase(child)
-			res.Evaluations++
+			mutate(ru.in, child, cfg, r)
+			ru.next[i].metrics = ru.inc.Rebase(child)
+			ru.res.Evaluations++
 		}
-		pop, next = next, pop
-		sortByFitness(pop)
+		ru.pop, ru.next = ru.next, ru.pop
+		sortByFitness(ru.pop)
 
-		if pop[0].metrics.Fitness > res.BestMetrics.Fitness {
-			res.Best = pop[0].sol.Clone()
-			res.BestMetrics = pop[0].metrics
+		if ru.pop[0].metrics.Fitness > ru.res.BestMetrics.Fitness {
+			ru.res.Best = ru.pop[0].sol.Clone()
+			ru.res.BestMetrics = ru.pop[0].metrics
 		}
-		if pop[0].metrics.GiantSize > bestGiant {
-			bestGiant = pop[0].metrics.GiantSize
+		if ru.pop[0].metrics.GiantSize > ru.bestGiant {
+			ru.bestGiant = ru.pop[0].metrics.GiantSize
 		}
 		if gen%cfg.RecordEvery == 0 || gen == cfg.Generations {
-			res.History = append(res.History, record(gen, pop, res.BestMetrics, bestGiant))
+			ru.res.History = append(ru.res.History, record(gen, ru.pop, ru.res.BestMetrics, ru.bestGiant))
 		}
 	}
-	return res, nil
 }
 
 func record(gen int, pop []individual, best wmn.Metrics, bestGiant int) GenRecord {

@@ -1,0 +1,146 @@
+package ga
+
+import (
+	"reflect"
+	"testing"
+
+	"meshplace/internal/geom"
+	"meshplace/internal/wmn"
+)
+
+func TestTopologyStringsAndParse(t *testing.T) {
+	if RingTopology.String() != "ring" || CompleteTopology.String() != "complete" {
+		t.Error("topology strings wrong")
+	}
+	for _, name := range []string{"ring", "RING", " Complete "} {
+		if _, err := ParseTopology(name); err != nil {
+			t.Errorf("ParseTopology(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseTopology("torus"); err == nil {
+		t.Error("ParseTopology accepted an unknown topology")
+	}
+}
+
+func TestMigrationSourcesRingWiring(t *testing.T) {
+	// Ring: island i feeds (i+1) mod N, so island d hears (d-1) mod N.
+	const n = 5
+	for d := 0; d < n; d++ {
+		want := []int{(d - 1 + n) % n}
+		if got := migrationSources(RingTopology, n, d); !reflect.DeepEqual(got, want) {
+			t.Errorf("ring sources of island %d = %v, want %v", d, got, want)
+		}
+	}
+	if got := migrationSources(RingTopology, 1, 0); got != nil {
+		t.Errorf("single island has sources %v, want none", got)
+	}
+}
+
+func TestMigrationSourcesComplete(t *testing.T) {
+	got := migrationSources(CompleteTopology, 4, 2)
+	want := []int{0, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("complete sources of island 2 = %v, want %v", got, want)
+	}
+}
+
+func TestIslandConfigValidate(t *testing.T) {
+	bad := []struct {
+		name string
+		cfg  IslandConfig
+	}{
+		{"negative islands", IslandConfig{Islands: -1}},
+		{"negative interval", IslandConfig{MigrateEvery: -3}},
+		{"negative migrants", IslandConfig{Migrants: -1}},
+		{"bad topology", IslandConfig{Topology: Topology(99)}},
+		{"ring flood", IslandConfig{Config: Config{PopSize: 8}, Islands: 2, Migrants: 8}},
+		{"complete flood", IslandConfig{Config: Config{PopSize: 8}, Islands: 5, Migrants: 2, Topology: CompleteTopology}},
+		{"bad base config", IslandConfig{Config: Config{Generations: -1}}},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+	if err := (IslandConfig{}).Validate(); err != nil {
+		t.Errorf("zero config (defaults) rejected: %v", err)
+	}
+	def := DefaultIslandConfig()
+	if def.Islands != 4 || def.MigrateEvery != 10 || def.Migrants != 2 || def.Topology != RingTopology {
+		t.Errorf("unexpected defaults: %+v", def)
+	}
+}
+
+// syntheticRun builds a run whose population has the given descending
+// fitness values, each individual holding one position that encodes
+// (island, rank) so migrations are traceable.
+func syntheticRun(island int, fitness ...float64) *run {
+	pop := make([]individual, len(fitness))
+	for k, f := range fitness {
+		sol := wmn.NewSolution(1)
+		sol.Positions[0] = geom.Pt(float64(island), float64(k))
+		pop[k] = individual{sol: sol, metrics: wmn.Metrics{Fitness: f}}
+	}
+	return &run{pop: pop}
+}
+
+func TestMigrateRingMovesElitesOntoWorst(t *testing.T) {
+	// Three islands with strictly ordered fitness bands: island 0 is the
+	// fittest overall, island 2 the weakest.
+	runs := []*run{
+		syntheticRun(0, 0.9, 0.8, 0.7, 0.6),
+		syntheticRun(1, 0.59, 0.5, 0.4, 0.3),
+		syntheticRun(2, 0.29, 0.2, 0.1, 0.05),
+	}
+	cfg := IslandConfig{Config: Config{PopSize: 4}, Islands: 3, Migrants: 1, Topology: RingTopology}.withDefaults()
+	placed := migrate(runs, cfg)
+	if placed != 3 {
+		t.Fatalf("placed %d immigrants, want 3 (one per ring edge)", placed)
+	}
+	// Island 1 must now hold island 0's former best as its own best (the
+	// immigrant outranks every native), still sorted.
+	if got := runs[1].pop[0].sol.Positions[0]; got != geom.Pt(0, 0) {
+		t.Errorf("island 1 best position %v, want island 0's elite (0,0)", got)
+	}
+	if runs[1].pop[0].metrics.Fitness != 0.9 {
+		t.Errorf("island 1 best fitness %g, want the immigrant's 0.9", runs[1].pop[0].metrics.Fitness)
+	}
+	// The immigrant replaced island 1's worst (fitness 0.3), not a
+	// middling native.
+	for _, ind := range runs[1].pop {
+		if ind.metrics.Fitness == 0.3 {
+			t.Error("island 1 still holds its former worst individual")
+		}
+	}
+	// Emigration copies: island 0 keeps its best.
+	if runs[0].pop[0].metrics.Fitness != 0.9 {
+		t.Error("island 0 lost its elite by emigrating it")
+	}
+	// The snapshot is pre-barrier: island 2 receives island 1's original
+	// best (0.59), not the immigrant island 1 just gained.
+	if runs[2].pop[0].metrics.Fitness != 0.59 {
+		t.Errorf("island 2 best fitness %g, want island 1's pre-barrier elite 0.59", runs[2].pop[0].metrics.Fitness)
+	}
+	// Migration mutates populations via copy, never by aliasing the
+	// source's storage.
+	runs[0].pop[0].sol.Positions[0] = geom.Pt(42, 42)
+	if runs[1].pop[0].sol.Positions[0] == geom.Pt(42, 42) {
+		t.Error("immigrant aliases the emigrant's position storage")
+	}
+}
+
+func TestMigrateZeroMigrantsOrSingleIsland(t *testing.T) {
+	runs := []*run{syntheticRun(0, 0.9, 0.1)}
+	cfg := IslandConfig{Config: Config{PopSize: 2}, Islands: 1}.withDefaults()
+	if placed := migrate(runs, cfg); placed != 0 {
+		t.Errorf("single island placed %d immigrants", placed)
+	}
+	two := []*run{syntheticRun(0, 0.9, 0.1), syntheticRun(1, 0.8, 0.2)}
+	cfg2 := cfg
+	cfg2.Islands, cfg2.Migrants = 2, 0
+	if placed := migrate(two, cfg2); placed != 0 {
+		t.Errorf("zero-migrant barrier placed %d immigrants", placed)
+	}
+}

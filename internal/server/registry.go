@@ -2,8 +2,10 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
+	"meshplace/internal/experiments"
 	"meshplace/internal/ga"
 	"meshplace/internal/localsearch"
 	"meshplace/internal/placement"
@@ -133,6 +135,16 @@ func methodParam(raw string) (string, error) {
 		return "", err
 	}
 	return m.String(), nil
+}
+
+// topologyParam accepts an island migration topology name, canonicalized
+// to lowercase.
+func topologyParam(raw string) (string, error) {
+	t, err := ga.ParseTopology(raw)
+	if err != nil {
+		return "", err
+	}
+	return t.String(), nil
 }
 
 // movementParam accepts a neighborhood movement name, canonicalized to
@@ -333,11 +345,15 @@ func init() {
 
 	register(&solverDef{
 		kind: "ga",
-		doc:  "the genetic algorithm of §5 initialized from an ad hoc method",
+		doc:  "the genetic algorithm of §5 initialized from an ad hoc method; islands>1 selects the island model",
 		params: []paramDef{
 			{key: "init", def: "HotSpot", doc: "ad hoc method initializing the population", check: methodParam},
 			{key: "generations", def: "800", doc: "number of generations", check: intParam(1)},
-			{key: "pop", def: "64", doc: "population size", check: intParam(4)},
+			{key: "pop", def: "64", doc: "population size (per island when islands>1)", check: intParam(4)},
+			{key: "islands", def: "1", doc: "concurrently evolving populations (1 = classic single population)", check: intParam(1)},
+			{key: "migrateevery", def: "10", doc: "generations between island migration barriers", check: intParam(1)},
+			{key: "migrants", def: "2", doc: "elite emigrants per migration edge", check: intParam(1)},
+			{key: "topology", def: "ring", doc: "island migration topology (ring, complete)", check: topologyParam},
 		},
 		build: func(spec Spec) (solveFunc, error) {
 			m, err := placement.MethodFromName(spec.Param("init"))
@@ -353,6 +369,39 @@ func init() {
 			cfg.PopSize = spec.specInt("pop")
 			if err := cfg.Validate(); err != nil {
 				return nil, err
+			}
+			if islands := spec.specInt("islands"); islands > 1 {
+				topology, err := ga.ParseTopology(spec.Param("topology"))
+				if err != nil {
+					return nil, err
+				}
+				icfg := ga.IslandConfig{
+					Config:       cfg,
+					Islands:      islands,
+					MigrateEvery: spec.specInt("migrateevery"),
+					Migrants:     spec.specInt("migrants"),
+					Topology:     topology,
+					// Async jobs already run on the process-wide pool;
+					// nesting the island fan-out on the same pool would
+					// deadlock at one worker (see ForEachIndexedOn), so the
+					// islands ride their own bounded inner pool. The result
+					// is byte-identical at any worker count either way.
+					FanOut: func(n int, fn func(i int) error) error {
+						return experiments.ForEachIndexed(n, runtime.GOMAXPROCS(0), fn)
+					},
+				}
+				// Cross-parameter constraints (inbound migrants must not
+				// wipe an island) surface at build time, not first solve.
+				if err := icfg.Validate(); err != nil {
+					return nil, err
+				}
+				return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+					res, err := ga.RunIslands(eval, init, icfg, seed)
+					if err != nil {
+						return wmn.Solution{}, wmn.Metrics{}, err
+					}
+					return res.Best, res.BestMetrics, nil
+				}, nil
 			}
 			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
 				res, err := ga.Run(eval, init, cfg, rng.DeriveString(seed, "solve/ga"))

@@ -24,11 +24,21 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// islandSuiteSpec is the island-model GA configuration the default suite
+// sweep carries alongside the per-kind defaults: four ring-coupled
+// islands of 32 for 200 generations — a deliberately lighter variant
+// (4 × 32 × 200 = 25,600 evaluations, half the classic default's
+// 64 × 800) that exercises migration across every corpus layout without
+// doubling the sweep's cost. Its report cells gauge the island machinery,
+// not an equal-budget quality comparison against the classic GA.
+const islandSuiteSpec = "ga:generations=200,pop=32,islands=4,migrateevery=25"
+
 // DefaultSuiteSpecs returns one canonical default spec per registered
-// solver kind — the suite's "sweep everything" selection.
+// solver kind, plus the island-model GA variant — the suite's "sweep
+// everything" selection.
 func DefaultSuiteSpecs() []Spec {
 	kinds := Kinds()
-	out := make([]Spec, 0, len(kinds))
+	out := make([]Spec, 0, len(kinds)+1)
 	for _, kind := range kinds {
 		spec, err := ParseSpec(kind)
 		if err != nil {
@@ -36,7 +46,11 @@ func DefaultSuiteSpecs() []Spec {
 		}
 		out = append(out, spec)
 	}
-	return out
+	spec, err := ParseSpec(islandSuiteSpec)
+	if err != nil {
+		panic("server: island suite spec does not parse: " + err.Error())
+	}
+	return append(out, spec)
 }
 
 // SuiteSolvers builds the named solvers for a spec list, labeling each

@@ -150,19 +150,24 @@ func TestGenerateSolveOnTraceLayout(t *testing.T) {
 func TestDefaultSuiteSpecsCoverRegistry(t *testing.T) {
 	specs := DefaultSuiteSpecs()
 	kinds := Kinds()
-	if len(specs) != len(kinds) {
+	// One default per kind, plus the island-model GA variant.
+	if len(specs) != len(kinds)+1 {
 		t.Fatalf("DefaultSuiteSpecs has %d specs for %d kinds", len(specs), len(kinds))
 	}
-	for i, spec := range specs {
-		if spec.Kind() != kinds[i] {
-			t.Errorf("spec %d is %q, want %q", i, spec.Kind(), kinds[i])
+	for i, kind := range kinds {
+		if specs[i].Kind() != kind {
+			t.Errorf("spec %d is %q, want %q", i, specs[i].Kind(), kind)
 		}
+	}
+	last := specs[len(specs)-1]
+	if last.Kind() != "ga" || last.Param("islands") == "1" {
+		t.Errorf("last default spec %q is not an island-model GA", last)
 	}
 	solvers, err := SuiteSolvers(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(solvers) != len(kinds) {
-		t.Fatalf("SuiteSolvers(nil) built %d solvers", len(solvers))
+	if len(solvers) != len(specs) {
+		t.Fatalf("SuiteSolvers(nil) built %d solvers for %d specs", len(solvers), len(specs))
 	}
 }

@@ -36,7 +36,8 @@ func TestParseSpecCanonicalizes(t *testing.T) {
 		{"adhoc", "adhoc:method=HotSpot"},
 		{" search : movement=SWAP , phases=20 ", "search:movement=swap,init=Random,phases=20,neighbors=16"},
 		{"anneal:starttemp=0.050", "anneal:movement=perturb,init=Random,steps=4096,starttemp=0.05,endtemp=0.0005"},
-		{"ga:pop=32", "ga:init=HotSpot,generations=800,pop=32"},
+		{"ga:pop=32", "ga:init=HotSpot,generations=800,pop=32,islands=1,migrateevery=10,migrants=2,topology=ring"},
+		{"ga:islands=4,topology=COMPLETE", "ga:init=HotSpot,generations=800,pop=64,islands=4,migrateevery=10,migrants=2,topology=complete"},
 		{"tabu:tenure=4,init=near", "tabu:movement=swap,init=Near,phases=64,neighbors=32,tenure=4"},
 		{"hillclimb:steps=100", "hillclimb:movement=perturb,init=Random,steps=100,noimprove=256"},
 	}
@@ -68,6 +69,9 @@ func TestParseSpecErrors(t *testing.T) {
 		{"NaN temperature", "anneal:starttemp=NaN"},
 		{"infinite temperature", "anneal:endtemp=+Inf"},
 		{"tiny population", "ga:pop=2"},
+		{"zero islands", "ga:islands=0"},
+		{"unknown topology", "ga:topology=torus"},
+		{"zero migrants", "ga:migrants=0"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -87,6 +91,18 @@ func TestSpecBuildErrorInvertedTemperatures(t *testing.T) {
 	}
 	if _, err := NewSolver(spec); err == nil {
 		t.Error("NewSolver accepted an inverted temperature range")
+	}
+}
+
+func TestSpecBuildErrorMigrantFlood(t *testing.T) {
+	// Per-parameter checks pass but the inbound migrants of a complete
+	// topology would replace a whole island; caught at build time.
+	spec, err := ParseSpec("ga:pop=8,islands=5,migrants=2,topology=complete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSolver(spec); err == nil {
+		t.Error("NewSolver accepted a migration plan that replaces whole islands")
 	}
 }
 
@@ -153,6 +169,7 @@ func quickSpecs(t *testing.T) []Spec {
 		"anneal:movement=perturb,steps=32",
 		"tabu:movement=random,phases=4,neighbors=4,tenure=2",
 		"ga:init=HotSpot,generations=5,pop=8",
+		"ga:generations=6,pop=8,islands=3,migrateevery=2,migrants=1",
 	}
 	specs := make([]Spec, len(texts))
 	for i, text := range texts {

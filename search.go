@@ -1,6 +1,8 @@
 package meshplace
 
 import (
+	"runtime"
+
 	"meshplace/internal/experiments"
 	"meshplace/internal/ga"
 	"meshplace/internal/localsearch"
@@ -99,6 +101,60 @@ func NewPlacerInitializer(m PlacementMethod, opts PlacementOptions) (GAInitializ
 // population produced by init.
 func RunGA(eval *Evaluator, init GAInitializer, cfg GAConfig, seed uint64) (GAResult, error) {
 	return ga.Run(eval, init, cfg, rng.New(seed))
+}
+
+// Island-model GA types (parallel populations with elite migration).
+type (
+	// IslandGAConfig parameterizes RunIslandGA: the per-island GAConfig
+	// plus island count, migration interval/count and topology.
+	IslandGAConfig = ga.IslandConfig
+	// IslandGAResult is the outcome of an island-model run: the cross-
+	// island best plus each island's own GAResult.
+	IslandGAResult = ga.IslandResult
+	// GATopology selects the migration graph between islands.
+	GATopology = ga.Topology
+	// GAFanOut fans island evolution across workers; build one with
+	// IslandFanOut or leave nil for sequential evolution.
+	GAFanOut = ga.FanOut
+)
+
+// Island migration topologies.
+const (
+	GARingTopology     = ga.RingTopology
+	GACompleteTopology = ga.CompleteTopology
+)
+
+// DefaultIslandGAConfig returns the island-model defaults: four islands on
+// a ring exchanging two elites every ten generations.
+func DefaultIslandGAConfig() IslandGAConfig { return ga.DefaultIslandConfig() }
+
+// ParseGATopology parses a migration-topology name ("ring", "complete").
+func ParseGATopology(name string) (GATopology, error) { return ga.ParseTopology(name) }
+
+// IslandFanOut returns a fan-out riding a bounded worker pool of the given
+// size (0 = one worker per CPU) — the experiments.Pool mechanism every
+// concurrent subsystem of the library shares. Island results are
+// byte-identical at any worker count.
+func IslandFanOut(workers int) GAFanOut {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return func(n int, fn func(i int) error) error {
+		return experiments.ForEachIndexed(n, workers, fn)
+	}
+}
+
+// RunIslandGA executes the island-model genetic algorithm: cfg.Islands
+// populations seeded independently from init (per-island RNG streams
+// derived from seed and the island index), evolving concurrently and
+// exchanging elite individuals along cfg.Topology every cfg.MigrateEvery
+// generations. A nil cfg.FanOut defaults to IslandFanOut(0); results do
+// not depend on the worker count.
+func RunIslandGA(eval *Evaluator, init GAInitializer, cfg IslandGAConfig, seed uint64) (IslandGAResult, error) {
+	if cfg.FanOut == nil {
+		cfg.FanOut = IslandFanOut(0)
+	}
+	return ga.RunIslands(eval, init, cfg, seed)
 }
 
 // Experiment runners regenerating the paper's tables and figures.
