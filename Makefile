@@ -5,9 +5,9 @@ GO ?= go
 
 # Per-PR benchmark stream: override for a scratch run, e.g.
 #   make bench BENCH_OUT=BENCH_CI.json
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 # Committed baseline the regression check diffs against.
-BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_BASELINE ?= BENCH_PR5.json
 
 .PHONY: ci vet build test race bench benchdiff fmt-check fuzz-smoke
 
@@ -32,10 +32,12 @@ race:
 # Benchmarks only (includes the worker-pool scaling benchmark in
 # internal/experiments, the corpus/suite benchmarks in internal/scenarios,
 # BenchmarkIncrementalVsFull in internal/wmn — the per-neighbor
-# incremental-vs-full evaluation comparison at paper and 10× scale — and
-# BenchmarkIslandScaling in internal/ga, the islands × workers grid). The
-# test2json event stream is written to $(BENCH_OUT) so the perf trajectory
-# is recorded per PR and can be diffed across commits with `make benchdiff`.
+# incremental-vs-full evaluation comparison at paper and 10× scale —
+# BenchmarkIslandScaling in internal/ga, the islands × workers grid, and
+# BenchmarkServeBatched in internal/server, the batched-vs-unbatched burst
+# comparison of the serving layer). The test2json event stream is written
+# to $(BENCH_OUT) so the perf trajectory is recorded per PR and can be
+# diffed across commits with `make benchdiff`.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 3x -json ./... > $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench BenchmarkIncrementalVsFull -benchtime 1000x -json ./internal/wmn >> $(BENCH_OUT)
@@ -43,9 +45,12 @@ bench:
 
 # Per-benchmark ns/op deltas between the committed baseline stream and the
 # current one; non-zero exit when a gated benchmark (default
-# BenchmarkIncrementalVsFull) slows down more than 25%.
+# BenchmarkIncrementalVsFull) slows down more than 25%, or when the
+# within-stream batched/unbatched serve ratio exceeds 1 (batching must not
+# lose to the direct path on the machine that recorded the stream).
 benchdiff:
-	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $(BENCH_OUT)
+	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $(BENCH_OUT) \
+		-ratio 'BenchmarkServeBatched/batched,BenchmarkServeBatched/unbatched'
 
 # Source formatting check (CI fails on drift; gofmt -l prints offenders).
 fmt-check:

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchdiff -old BENCH_PR4.json -new BENCH_PR5.json [-threshold 25] [-fail regexp]
+//	benchdiff -old BENCH_PR4.json -new BENCH_PR5.json [-threshold 25] [-fail regexp] [-ratio NUM,DEN] [-ratiomax 1.0]
 //
 // Every benchmark present in both files is listed with its old and new
 // ns/op and the relative change. Benchmarks matching -fail (default
@@ -12,6 +12,15 @@
 // search loops ride) additionally gate the exit status: a slowdown above
 // -threshold percent makes benchdiff exit non-zero, which is how the CI
 // workflow turns the committed perf trajectory into a regression check.
+//
+// -ratio adds a within-stream gate that is independent of the hardware the
+// stream was recorded on: it names two benchmarks of the -new stream
+// (numerator,denominator) and fails when their ns/op ratio exceeds
+// -ratiomax. The serving layer uses it to pin BenchmarkServeBatched/batched
+// at or below BenchmarkServeBatched/unbatched — batching must keep beating
+// the unbatched path on whatever machine ran the benchmarks. Either
+// benchmark missing from the -new stream is an error, not a skip, so the
+// gate cannot silently rot away.
 //
 // A benchmark that appears several times in one stream (e.g. the
 // high-iteration second BenchmarkIncrementalVsFull pass) is reduced to its
@@ -44,6 +53,8 @@ func run(args []string, stdout io.Writer) error {
 	newPath := fs.String("new", "", "candidate test2json stream to compare against the baseline")
 	threshold := fs.Float64("threshold", 25, "maximum tolerated slowdown of gated benchmarks, in percent")
 	failPat := fs.String("fail", "^BenchmarkIncrementalVsFull", "regexp of benchmark names gating the exit status")
+	ratioPair := fs.String("ratio", "", "NUM,DEN benchmark names in the -new stream whose ns/op ratio is gated (empty disables)")
+	ratioMax := fs.Float64("ratiomax", 1.0, "maximum tolerated ns/op ratio NUM/DEN for the -ratio pair")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +63,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *threshold < 0 {
 		return fmt.Errorf("-threshold %g is negative", *threshold)
+	}
+	if *ratioMax <= 0 {
+		return fmt.Errorf("-ratiomax %g is not positive", *ratioMax)
 	}
 	gate, err := regexp.Compile(*failPat)
 	if err != nil {
@@ -100,9 +114,41 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "compared %d benchmarks (* = gated by %q at %g%%)\n", len(names), *failPat, *threshold)
 
+	if *ratioPair != "" {
+		if err := checkRatio(stdout, newRes, *newPath, *ratioPair, *ratioMax); err != nil {
+			return err
+		}
+	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d gated benchmark(s) regressed:\n  %s",
 			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// checkRatio enforces the within-stream -ratio gate on the -new results.
+func checkRatio(stdout io.Writer, res map[string]float64, path, pair string, max float64) error {
+	parts := strings.Split(pair, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-ratio wants exactly NUM,DEN benchmark names, got %q", pair)
+	}
+	numName, denName := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	num, ok := res[numName]
+	if !ok {
+		return fmt.Errorf("%s: ratio benchmark %q not in stream", path, numName)
+	}
+	den, ok := res[denName]
+	if !ok {
+		return fmt.Errorf("%s: ratio benchmark %q not in stream", path, denName)
+	}
+	if den == 0 {
+		return fmt.Errorf("%s: ratio denominator %q is 0 ns/op", path, denName)
+	}
+	ratio := num / den
+	fmt.Fprintf(stdout, "ratio %s / %s = %.3f (max %g)\n", numName, denName, ratio, max)
+	if ratio > max {
+		return fmt.Errorf("ratio gate failed: %s (%.1f ns/op) / %s (%.1f ns/op) = %.3f > %g",
+			numName, num, denName, den, ratio, max)
 	}
 	return nil
 }

@@ -99,6 +99,60 @@ func TestRunFailRegexpFlag(t *testing.T) {
 	}
 }
 
+func TestRunRatioGateWithinMaxSucceeds(t *testing.T) {
+	// batched/unbatched = 32ms/40ms = 0.8, under the default -ratiomax 1.0.
+	var out strings.Builder
+	err := run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ratio.json"),
+		"-ratio", "BenchmarkServeBatched/batched,BenchmarkServeBatched/unbatched"}, &out)
+	if err != nil {
+		t.Fatalf("0.8 ratio failed the 1.0 gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ratio BenchmarkServeBatched/batched / BenchmarkServeBatched/unbatched = 0.800") {
+		t.Errorf("report lacks the ratio line:\n%s", out.String())
+	}
+}
+
+func TestRunRatioGateAboveMaxFails(t *testing.T) {
+	// The same 0.8 ratio fails a tightened -ratiomax 0.5.
+	err := run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ratio.json"),
+		"-ratio", "BenchmarkServeBatched/batched,BenchmarkServeBatched/unbatched",
+		"-ratiomax", "0.5"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "ratio gate failed") {
+		t.Errorf("0.8 ratio passed the 0.5 gate: %v", err)
+	}
+}
+
+func TestRunRatioGateMissingBenchmarkIsError(t *testing.T) {
+	// A ratio benchmark absent from the -new stream is an error, not a
+	// skip: the gate must not rot away silently when a benchmark is renamed.
+	for _, pair := range []string{
+		"BenchmarkServeBatched/batched,BenchmarkServeRenamed/unbatched",
+		"BenchmarkServeRenamed/batched,BenchmarkServeBatched/unbatched",
+	} {
+		err := run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ratio.json"),
+			"-ratio", pair}, &strings.Builder{})
+		if err == nil || !strings.Contains(err.Error(), "not in stream") {
+			t.Errorf("-ratio %s: err = %v, want missing-benchmark error", pair, err)
+		}
+	}
+}
+
+func TestRunRatioGateFlagErrors(t *testing.T) {
+	cases := [][]string{
+		// Malformed pair: one name, and three names.
+		{"-ratio", "BenchmarkServeBatched/batched"},
+		{"-ratio", "a,b,c"},
+		// Non-positive -ratiomax.
+		{"-ratio", "BenchmarkServeBatched/batched,BenchmarkServeBatched/unbatched", "-ratiomax", "0"},
+	}
+	for _, extra := range cases {
+		args := append([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ratio.json")}, extra...)
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
 func TestRunInputErrors(t *testing.T) {
 	cases := [][]string{
 		{},

@@ -13,6 +13,7 @@
 //	wmnplace experiment [flags] <table1|table2|table3|fig1|fig2|fig3|fig4|all>
 //	wmnplace suite      [flags]   sweep solvers over the scenario corpus (see internal/scenarios)
 //	wmnplace serve      [flags]   serve placement requests over HTTP (see internal/server)
+//	wmnplace loadgen    [flags]   drive request load at a server and report throughput/latency
 //
 // Run "wmnplace <command> -h" for the flags of each command.
 package main
@@ -31,7 +32,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing command; want instance, place, search, ga, analyze, experiment, suite or serve")
+		return fmt.Errorf("missing command; want instance, place, search, ga, analyze, experiment, suite, serve or loadgen")
 	}
 	switch args[0] {
 	case "instance":
@@ -50,10 +51,12 @@ func run(args []string) error {
 		return runSuite(args[1:])
 	case "serve":
 		return runServe(args[1:])
+	case "loadgen":
+		return runLoadgen(args[1:])
 	case "-h", "--help", "help":
-		fmt.Println("commands: instance, place, search, ga, analyze, experiment, suite, serve")
+		fmt.Println("commands: instance, place, search, ga, analyze, experiment, suite, serve, loadgen")
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q; want instance, place, search, ga, analyze, experiment, suite or serve", args[0])
+		return fmt.Errorf("unknown command %q; want instance, place, search, ga, analyze, experiment, suite, serve or loadgen", args[0])
 	}
 }

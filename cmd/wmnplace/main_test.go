@@ -151,6 +151,35 @@ func TestSuiteCommandErrors(t *testing.T) {
 	}
 }
 
+func TestLoadgenCommand(t *testing.T) {
+	csvOut := filepath.Join(t.TempDir(), "requests.csv")
+	args := []string{
+		"loadgen", "-requests", "24", "-concurrency", "4", "-seeds", "2",
+		"-spec", "adhoc:method=Near", "-scenario", "v1-half-uniform",
+		"-batchwait", "1ms", "-csv", csvOut, "-json",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvOut)
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	// Header + 24 request rows.
+	if lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1; lines != 25 {
+		t.Errorf("CSV has %d lines, want 25", lines)
+	}
+}
+
+func TestLoadgenCommandErrors(t *testing.T) {
+	if err := run([]string{"loadgen", "-scenario", "v1-mega-spiral", "-requests", "1"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"loadgen", "-spec", "warp:speed=9", "-requests", "1"}); err == nil {
+		t.Error("unknown solver spec accepted")
+	}
+}
+
 func TestSolutionSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	instFile := filepath.Join(dir, "inst.json")

@@ -17,6 +17,9 @@ func runServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	workers := fs.Int("workers", 0, "async solve workers (0 = one per CPU)")
 	cache := fs.Int("cache", 256, "result-cache capacity in entries (0 disables)")
+	batch := fs.Int("batch", 0, "max computations coalesced per batch (0 = default)")
+	batchWait := fs.Duration("batchwait", 0, "max wait before a partial batch flushes (0 = default)")
+	noBatch := fs.Bool("nobatch", false, "disable request batching (solve each request directly)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -24,6 +27,9 @@ func runServe(args []string) error {
 	cfg := server.DefaultConfig()
 	cfg.Workers = *workers
 	cfg.CacheSize = *cache
+	cfg.BatchSize = *batch
+	cfg.BatchMaxWait = *batchWait
+	cfg.DisableBatching = *noBatch
 	srv := server.New(cfg)
 	defer srv.Close()
 

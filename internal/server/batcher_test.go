@@ -1,0 +1,422 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"meshplace/internal/wmn"
+)
+
+// solveBodyMode is solveBody with an explicit execution mode.
+func solveBodyMode(t *testing.T, in *wmn.Instance, solver string, seed uint64, mode string) string {
+	t.Helper()
+	payload, err := json.Marshal(map[string]any{
+		"solver":   solver,
+		"seed":     seed,
+		"instance": in,
+		"mode":     mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(payload)
+}
+
+// fireConcurrent launches one goroutine per body, waits for all responses,
+// and returns the recorders in body order.
+func fireConcurrent(t *testing.T, srv *Server, bodies []string) []*httptest.ResponseRecorder {
+	t.Helper()
+	out := make([]*httptest.ResponseRecorder, len(bodies))
+	var wg sync.WaitGroup
+	for i, body := range bodies {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			req := httptest.NewRequest("POST", "/v1/solve", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			out[i] = w
+		}(i, body)
+	}
+	wg.Wait()
+	return out
+}
+
+// TestBatcherDedupExactlyOneComputation is the acceptance stress test: 64
+// concurrent identical (instance, spec, seed) requests with the cache
+// disabled must run exactly one solver computation, fanned byte-identically
+// to every waiter. BatchSize 64 makes the flush deterministic — the batch
+// flushes exactly when all 64 requests have attached — and the disabled
+// cache proves delivery flows through the computation fan-out, not the LRU.
+func TestBatcherDedupExactlyOneComputation(t *testing.T) {
+	srv := newTestServer(t, Config{
+		CacheSize: 0, BatchSize: 64, BatchMaxWait: 10 * time.Second, Workers: 4,
+	})
+	in := testInstance(t)
+	body := solveBody(t, in, "search:phases=4,neighbors=4", 7)
+
+	const n = 64
+	bodies := make([]string, n)
+	for i := range bodies {
+		bodies[i] = body
+	}
+	recs := fireConcurrent(t, srv, bodies)
+
+	var miss, dedup int
+	first := resultBytes(t, recs[0].Body.Bytes())
+	for i, w := range recs {
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d = %d (body %s)", i, w.Code, w.Body.String())
+		}
+		raw, m := decodeEnvelope(t, w.Body.Bytes())
+		if !bytes.Equal(first, raw) {
+			t.Fatalf("request %d result differs from request 0", i)
+		}
+		switch m.CachePath {
+		case CacheMiss:
+			miss++
+		case CacheDedupWait:
+			dedup++
+		default:
+			t.Fatalf("request %d cache path %q", i, m.CachePath)
+		}
+		if m.BatchSize != 1 {
+			t.Errorf("request %d batch size %d, want 1 distinct computation", i, m.BatchSize)
+		}
+		if m.TotalNs <= 0 || m.SolveNs <= 0 {
+			t.Errorf("request %d metrics unpopulated: %+v", i, m)
+		}
+	}
+	if miss != 1 || dedup != n-1 {
+		t.Errorf("cache paths = %d miss / %d dedup-wait, want 1 / %d", miss, dedup, n-1)
+	}
+
+	snap := srv.Metrics()
+	if snap.Computations != 1 {
+		t.Errorf("computations = %d, want exactly 1", snap.Computations)
+	}
+	if snap.Requests != n || snap.DedupWaits != n-1 || snap.CacheMiss != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.Batches != 1 || snap.BatchFlushSize != 1 {
+		t.Errorf("batches = %d (size flushes %d), want 1 size-flushed batch", snap.Batches, snap.BatchFlushSize)
+	}
+}
+
+// TestBatcherNearIdenticalRequests mixes 8 distinct seeds across 64
+// concurrent requests: one computation per seed, every waiter of a seed
+// observes that seed's bytes, and all 8 computations share one batch (one
+// warm evaluator build).
+func TestBatcherNearIdenticalRequests(t *testing.T) {
+	srv := newTestServer(t, Config{
+		CacheSize: 0, BatchSize: 64, BatchMaxWait: 10 * time.Second, Workers: 4,
+	})
+	in := testInstance(t)
+
+	const n, seeds = 64, 8
+	bodies := make([]string, n)
+	for i := range bodies {
+		bodies[i] = solveBody(t, in, "search:phases=4,neighbors=4", uint64(i%seeds))
+	}
+	recs := fireConcurrent(t, srv, bodies)
+
+	bySeed := map[int][]byte{}
+	for i, w := range recs {
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d = %d", i, w.Code)
+		}
+		raw, m := decodeEnvelope(t, w.Body.Bytes())
+		if prev, ok := bySeed[i%seeds]; ok {
+			if !bytes.Equal(prev, raw) {
+				t.Fatalf("seed %d returned two different results", i%seeds)
+			}
+		} else {
+			bySeed[i%seeds] = raw
+		}
+		if m.BatchSize != seeds {
+			t.Errorf("request %d batch size %d, want %d distinct computations", i, m.BatchSize, seeds)
+		}
+	}
+	for a := 0; a < seeds; a++ {
+		for b := a + 1; b < seeds; b++ {
+			if bytes.Equal(bySeed[a], bySeed[b]) {
+				t.Errorf("seeds %d and %d returned identical payloads", a, b)
+			}
+		}
+	}
+
+	snap := srv.Metrics()
+	if snap.Computations != seeds {
+		t.Errorf("computations = %d, want %d (one per distinct seed)", snap.Computations, seeds)
+	}
+	if snap.Batches != 1 || snap.BatchFlushSize != 1 {
+		t.Errorf("batches = %d (size flushes %d), want one shared batch", snap.Batches, snap.BatchFlushSize)
+	}
+}
+
+// TestBatcherWorkerInvariance pins the determinism contract under the
+// batcher (the serving-layer analogue of TestIslandWorkerInvariance): the
+// same concurrent request mix against a 1-worker and an 8-worker server
+// yields byte-identical result payloads for every (spec, seed) pair.
+func TestBatcherWorkerInvariance(t *testing.T) {
+	in := testInstance(t)
+	specs := []string{"search:phases=4,neighbors=4", "ga:generations=4,pop=8"}
+	var bodies []string
+	var keys []string
+	for _, spec := range specs {
+		for seed := uint64(0); seed < 4; seed++ {
+			// Two copies of each pair so dedup paths are exercised too.
+			for rep := 0; rep < 2; rep++ {
+				bodies = append(bodies, solveBody(t, in, spec, seed))
+				keys = append(keys, fmt.Sprintf("%s|%d", spec, seed))
+			}
+		}
+	}
+
+	results := make([]map[string][]byte, 2)
+	for w, workers := range []int{1, 8} {
+		srv := newTestServer(t, Config{CacheSize: 0, BatchSize: 8, BatchMaxWait: time.Millisecond, Workers: workers})
+		recs := fireConcurrent(t, srv, bodies)
+		got := map[string][]byte{}
+		for i, rec := range recs {
+			if rec.Code != http.StatusOK {
+				t.Fatalf("workers=%d request %d = %d", workers, i, rec.Code)
+			}
+			raw := resultBytes(t, rec.Body.Bytes())
+			if prev, ok := got[keys[i]]; ok && !bytes.Equal(prev, raw) {
+				t.Fatalf("workers=%d: %s returned two different results", workers, keys[i])
+			}
+			got[keys[i]] = raw
+		}
+		results[w] = got
+	}
+	for key, want := range results[0] {
+		if !bytes.Equal(want, results[1][key]) {
+			t.Errorf("%s: 1-worker and 8-worker results differ", key)
+		}
+	}
+}
+
+// TestBatchFlushTimeoutSingleRequest: a lone request below BatchSize is
+// answered once maxWait expires — the batch flushes on the timer, not on
+// size, and still reports full telemetry.
+func TestBatchFlushTimeoutSingleRequest(t *testing.T) {
+	srv := newTestServer(t, Config{
+		CacheSize: 4, BatchSize: 100, BatchMaxWait: 5 * time.Millisecond,
+	})
+	in := testInstance(t)
+	w := do(t, srv, "POST", "/v1/solve", solveBody(t, in, "adhoc", 1))
+	if w.Code != http.StatusOK {
+		t.Fatalf("solve = %d (body %s)", w.Code, w.Body.String())
+	}
+	_, m := decodeEnvelope(t, w.Body.Bytes())
+	if m.CachePath != CacheMiss || m.BatchSize != 1 {
+		t.Errorf("metrics = %+v, want a 1-computation miss", m)
+	}
+	snap := srv.Metrics()
+	if snap.Batches != 1 || snap.BatchFlushTimeout != 1 || snap.BatchFlushSize != 0 {
+		t.Errorf("flush counters = %+v, want one timeout flush", snap)
+	}
+}
+
+// TestBatchFlushOnSizeBeforeTimeout: with BatchSize 2 and a prohibitive
+// maxWait, the second request triggers the flush — the test completing at
+// all (well before the 10s window) proves the size path preempts the timer.
+func TestBatchFlushOnSizeBeforeTimeout(t *testing.T) {
+	srv := newTestServer(t, Config{
+		CacheSize: 0, BatchSize: 2, BatchMaxWait: 10 * time.Second,
+	})
+	in := testInstance(t)
+	start := time.Now()
+	recs := fireConcurrent(t, srv, []string{
+		solveBody(t, in, "adhoc", 1),
+		solveBody(t, in, "adhoc", 2),
+	})
+	for i, w := range recs {
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d = %d", i, w.Code)
+		}
+		if _, m := decodeEnvelope(t, w.Body.Bytes()); m.BatchSize != 2 {
+			t.Errorf("request %d batch size %d, want 2", i, m.BatchSize)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("size flush took %v; batch waited for the timer", elapsed)
+	}
+	snap := srv.Metrics()
+	if snap.Batches != 1 || snap.BatchFlushSize != 1 || snap.BatchFlushTimeout != 0 {
+		t.Errorf("flush counters = %+v, want one size flush", snap)
+	}
+}
+
+// waitPendingRequests polls the batcher until one pending batch has
+// coalesced want requests (the deterministic "everyone has attached" gate
+// the shutdown and eviction tests synchronize on).
+func waitPendingRequests(t *testing.T, srv *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		srv.batch.mu.Lock()
+		got := 0
+		for _, bt := range srv.batch.pending {
+			got += bt.requests
+		}
+		srv.batch.mu.Unlock()
+		if got >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("pending batch never coalesced %d requests", want)
+}
+
+// TestBatcherDrainsOnClose: requests parked in a pending batch (BatchSize
+// and maxWait both unreachable) are flushed and answered by Close, and the
+// server's goroutines exit — no waiter is stranded and nothing leaks.
+func TestBatcherDrainsOnClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv := New(Config{CacheSize: 4, BatchSize: 100, BatchMaxWait: time.Hour, Workers: 2})
+	in := testInstance(t)
+
+	const n = 5
+	recs := make([]*httptest.ResponseRecorder, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := solveBody(t, in, "adhoc", uint64(i))
+			req := httptest.NewRequest("POST", "/v1/solve", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			recs[i] = w
+		}(i)
+	}
+	waitPendingRequests(t, srv, n)
+
+	snapBefore := srv.Metrics()
+	if snapBefore.Batches != 0 {
+		t.Fatalf("batch flushed before close: %+v", snapBefore)
+	}
+	srv.Close()
+	wg.Wait()
+
+	for i, w := range recs {
+		if w.Code != http.StatusOK {
+			t.Errorf("request %d = %d after close-flush (body %s)", i, w.Code, w.Body.String())
+		}
+	}
+	snap := srv.Metrics()
+	if snap.BatchFlushClose != 1 || snap.Computations != n {
+		t.Errorf("snapshot after close = %+v, want one close flush of %d computations", snap, n)
+	}
+
+	// Goroutine guard: both pools and all waiters must be gone. Allow the
+	// runtime a moment to unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if now := runtime.NumGoroutine(); now <= before {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d before, %d after close — leak", before, now)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobEvictionWithDedupWaitersStillDelivers is the eviction-vs-dedup
+// regression (extending TestEvictLockedSparesUnfinishedJobs): an async job
+// whose computation has sync dedup waiters attached keeps delivering to
+// every waiter even when the job table is flooded past maxRetainedJobs and
+// the job itself is forcibly dropped from the table — results fan out over
+// the computation's done channel, never through the job table or the LRU.
+func TestJobEvictionWithDedupWaitersStillDelivers(t *testing.T) {
+	// BatchSize 6 with 5 attached requests parks the batch deterministically;
+	// the 6th request (sent after the eviction storm) releases it.
+	srv := newTestServer(t, Config{
+		CacheSize: 1, Workers: 2,
+		BatchSize: 6, BatchMaxWait: 10 * time.Second,
+	})
+	in := testInstance(t)
+
+	// One async job opens (or joins) the computation...
+	w := do(t, srv, "POST", "/v1/solve", solveBodyMode(t, in, "adhoc:method=Near", 3, "async"))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("async solve = %d (body %s)", w.Code, w.Body.String())
+	}
+	var accepted struct {
+		Job JobView `json:"job"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &accepted); err != nil {
+		t.Fatal(err)
+	}
+	jobID := accepted.Job.ID
+
+	// ...and four sync waiters dedup onto it.
+	const waiters = 4
+	syncBody := solveBodyMode(t, in, "adhoc:method=Near", 3, "sync")
+	recs := make([]*httptest.ResponseRecorder, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest("POST", "/v1/solve", strings.NewReader(syncBody))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			recs[i] = rec
+		}(i)
+	}
+	waitPendingRequests(t, srv, waiters+1)
+
+	// Eviction storm while the computation is parked: flood the table past
+	// capacity (the unfinished job must be spared), then forcibly drop the
+	// job anyway to prove waiter delivery does not depend on the table.
+	spec, _ := ParseSpec("adhoc")
+	srv.jobs.mu.Lock()
+	for i := 0; i < maxRetainedJobs+50; i++ {
+		srv.jobs.seq++
+		id := fmt.Sprintf("job-%08d", srv.jobs.seq)
+		srv.jobs.jobs[id] = &job{view: JobView{ID: id, Status: JobDone, Solver: spec}}
+		srv.jobs.order = append(srv.jobs.order, id)
+	}
+	srv.jobs.evictLocked()
+	_, spared := srv.jobs.jobs[jobID]
+	delete(srv.jobs.jobs, jobID)
+	srv.jobs.mu.Unlock()
+	if !spared {
+		t.Error("unfinished async job was evicted by the storm")
+	}
+
+	// The 6th identical request completes the batch and releases everyone.
+	final := do(t, srv, "POST", "/v1/solve", syncBody)
+	wg.Wait()
+
+	if final.Code != http.StatusOK {
+		t.Fatalf("releasing request = %d", final.Code)
+	}
+	want := resultBytes(t, final.Body.Bytes())
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("waiter %d = %d after job eviction (body %s)", i, rec.Code, rec.Body.String())
+		}
+		if !bytes.Equal(want, resultBytes(t, rec.Body.Bytes())) {
+			t.Errorf("waiter %d result differs", i)
+		}
+	}
+	if srv.Metrics().Computations != 1 {
+		t.Errorf("computations = %d, want 1", srv.Metrics().Computations)
+	}
+	// The job vanished from the table (404), yet every waiter was served.
+	if got := do(t, srv, "GET", "/v1/jobs/"+jobID, ""); got.Code != http.StatusNotFound {
+		t.Errorf("forcibly evicted job still answers %d", got.Code)
+	}
+}

@@ -21,14 +21,17 @@ const (
 
 // JobView is the JSON representation of a job returned by POST /v1/solve
 // (async) and GET /v1/jobs/{id}. Result carries the exact payload a
-// synchronous solve of the same request would return, byte for byte.
+// synchronous solve of the same request would return, byte for byte;
+// RequestMetrics carries the finished request's telemetry (queue wait
+// including job-pool queueing, batch build, solve, cache path).
 type JobView struct {
-	ID     string          `json:"id"`
-	Status JobStatus       `json:"status"`
-	Solver Spec            `json:"solver"`
-	Seed   uint64          `json:"seed"`
-	Result json.RawMessage `json:"result,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	ID             string          `json:"id"`
+	Status         JobStatus       `json:"status"`
+	Solver         Spec            `json:"solver"`
+	Seed           uint64          `json:"seed"`
+	Result         json.RawMessage `json:"result,omitempty"`
+	RequestMetrics *RequestMetrics `json:"requestMetrics,omitempty"`
+	Error          string          `json:"error,omitempty"`
 }
 
 type job struct {
@@ -48,7 +51,7 @@ func (j *job) setStatus(s JobStatus) {
 	j.mu.Unlock()
 }
 
-func (j *job) finish(result []byte, err error) {
+func (j *job) finish(result []byte, metrics RequestMetrics, err error) {
 	j.mu.Lock()
 	if err != nil {
 		j.view.Status = JobFailed
@@ -56,6 +59,7 @@ func (j *job) finish(result []byte, err error) {
 	} else {
 		j.view.Status = JobDone
 		j.view.Result = result
+		j.view.RequestMetrics = &metrics
 	}
 	j.mu.Unlock()
 }
@@ -92,7 +96,7 @@ func newJobQueue(pool *experiments.Pool, maxPending int) *jobQueue {
 // initial (queued) view, or errBacklogFull when the pending backlog is at
 // capacity. IDs are sequential, not random, so job handles are
 // deterministic within a server lifetime.
-func (q *jobQueue) submit(spec Spec, seed uint64, run func() ([]byte, error)) (JobView, error) {
+func (q *jobQueue) submit(spec Spec, seed uint64, run func() ([]byte, RequestMetrics, error)) (JobView, error) {
 	q.mu.Lock()
 	if q.maxPending > 0 && q.pending >= q.maxPending {
 		q.mu.Unlock()
@@ -109,12 +113,12 @@ func (q *jobQueue) submit(spec Spec, seed uint64, run func() ([]byte, error)) (J
 
 	if !q.pool.Submit(func() {
 		j.setStatus(JobRunning)
-		out, err := run()
+		out, metrics, err := run()
 		q.release()
-		j.finish(out, err)
+		j.finish(out, metrics, err)
 	}) {
 		q.release()
-		j.finish(nil, fmt.Errorf("server: job queue closed"))
+		j.finish(nil, RequestMetrics{}, fmt.Errorf("server: job queue closed"))
 	}
 	return j.snapshot(), nil
 }

@@ -38,7 +38,7 @@ func TestJobLifecycleSuccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	view, err := q.submit(spec, 42, func() ([]byte, error) { return []byte(`{"ok":true}`), nil })
+	view, err := q.submit(spec, 42, func() ([]byte, RequestMetrics, error) { return []byte(`{"ok":true}`), RequestMetrics{}, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestJobLifecycleFailure(t *testing.T) {
 	q := newJobQueue(pool, 0)
 
 	spec, _ := ParseSpec("adhoc")
-	view, err := q.submit(spec, 1, func() ([]byte, error) { return nil, errors.New("boom") })
+	view, err := q.submit(spec, 1, func() ([]byte, RequestMetrics, error) { return nil, RequestMetrics{}, errors.New("boom") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,9 +87,9 @@ func TestJobOrderedExecutionOnOneWorker(t *testing.T) {
 	var order []int
 	var ids []string
 	for i := 0; i < 5; i++ {
-		view, err := q.submit(spec, uint64(i), func() ([]byte, error) {
+		view, err := q.submit(spec, uint64(i), func() ([]byte, RequestMetrics, error) {
 			order = append(order, i) // safe: single worker
-			return []byte("{}"), nil
+			return []byte("{}"), RequestMetrics{}, nil
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -111,7 +111,7 @@ func TestJobSubmitAfterPoolClose(t *testing.T) {
 	pool.Close()
 	q := newJobQueue(pool, 0)
 	spec, _ := ParseSpec("adhoc")
-	view, err := q.submit(spec, 1, func() ([]byte, error) { return []byte("{}"), nil })
+	view, err := q.submit(spec, 1, func() ([]byte, RequestMetrics, error) { return []byte("{}"), RequestMetrics{}, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,14 +127,14 @@ func TestJobEvictionKeepsTableBounded(t *testing.T) {
 	spec, _ := ParseSpec("adhoc")
 
 	for i := 0; i < maxRetainedJobs+100; i++ {
-		if _, err := q.submit(spec, uint64(i), func() ([]byte, error) { return []byte("{}"), nil }); err != nil {
+		if _, err := q.submit(spec, uint64(i), func() ([]byte, RequestMetrics, error) { return []byte("{}"), RequestMetrics{}, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
 	pool.Wait()
 	// Eviction happens on submit (unfinished jobs are never dropped), so
 	// the next submit after the backlog drains prunes the table.
-	view, err := q.submit(spec, 0, func() ([]byte, error) { return []byte("{}"), nil })
+	view, err := q.submit(spec, 0, func() ([]byte, RequestMetrics, error) { return []byte("{}"), RequestMetrics{}, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestJobBacklogLimitRejectsThenRecovers(t *testing.T) {
 	spec, _ := ParseSpec("adhoc")
 
 	release := make(chan struct{})
-	blocked := func() ([]byte, error) { <-release; return []byte("{}"), nil }
+	blocked := func() ([]byte, RequestMetrics, error) { <-release; return []byte("{}"), RequestMetrics{}, nil }
 	first, err := q.submit(spec, 1, blocked)
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +261,7 @@ func TestJobBacklogLimitRejectsThenRecovers(t *testing.T) {
 	// so no extra wait is needed once both jobs report done).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, err := q.submit(spec, 4, func() ([]byte, error) { return []byte("{}"), nil }); err == nil {
+		if _, err := q.submit(spec, 4, func() ([]byte, RequestMetrics, error) { return []byte("{}"), RequestMetrics{}, nil }); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"meshplace/internal/experiments"
 	"meshplace/internal/wmn"
@@ -15,7 +16,8 @@ import (
 // documents the default its zero selects, except CacheSize where zero
 // disables caching explicitly.
 type Config struct {
-	// Workers bounds the async job pool. 0 selects one per available CPU.
+	// Workers bounds the async job pool and, independently, the batch
+	// worker pool. 0 selects one per available CPU.
 	Workers int
 	// CacheSize is the LRU result-cache capacity in entries. 0 disables
 	// the cache; DefaultConfig uses 256.
@@ -32,6 +34,17 @@ type Config struct {
 	// async requests are rejected with 429 until jobs drain. 0 selects
 	// 256.
 	MaxPendingJobs int
+	// BatchSize is the number of requests (distinct computations plus
+	// dedup attaches) a pending batch coalesces before flushing early.
+	// 0 selects 16.
+	BatchSize int
+	// BatchMaxWait is how long the first request of a batch waits for
+	// company before the batch flushes anyway. 0 selects 2ms.
+	BatchMaxWait time.Duration
+	// DisableBatching bypasses the batcher entirely: every cache miss
+	// builds its own evaluator and solves inline (the pre-batching
+	// behavior, kept addressable for comparison benchmarks).
+	DisableBatching bool
 	// Eval configures the objective used for every solve. The zero value
 	// is the paper's model.
 	Eval wmn.EvalOptions
@@ -55,34 +68,47 @@ func (c Config) withDefaults() Config {
 	if c.MaxPendingJobs == 0 {
 		c.MaxPendingJobs = 256
 	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchMaxWait == 0 {
+		c.BatchMaxWait = 2 * time.Millisecond
+	}
 	return c
 }
 
 // Server is the placement service: an http.Handler wiring the solver
-// registry, the result cache and the async job queue together. Create one
-// with New and release its worker pool with Close.
+// registry, the result cache, the request batcher and the async job queue
+// together. Create one with New and release its worker pools with Close.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	pool  *experiments.Pool
-	jobs  *jobQueue
-	mux   *http.ServeMux
+	cfg     Config
+	cache   *Cache
+	pool    *experiments.Pool
+	jobs    *jobQueue
+	batch   *batcher // nil when DisableBatching
+	metrics *metricsAggregator
+	mux     *http.ServeMux
 }
 
 // New builds a Server from the config.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheSize),
-		pool:  experiments.NewPool(cfg.Workers),
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize),
+		pool:    experiments.NewPool(cfg.Workers),
+		metrics: &metricsAggregator{},
 	}
 	s.jobs = newJobQueue(s.pool, cfg.MaxPendingJobs)
+	if !cfg.DisableBatching {
+		s.batch = newBatcher(cfg, s.cache, s.metrics)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux = mux
@@ -92,12 +118,22 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains the async job pool. The server must not receive requests
-// afterwards.
-func (s *Server) Close() { s.pool.Close() }
+// Close drains the batcher (pending batches flush and deliver to their
+// waiters) and then the async job pool. The server must not receive
+// requests afterwards.
+func (s *Server) Close() {
+	if s.batch != nil {
+		s.batch.close()
+	}
+	s.pool.Close()
+}
 
 // Cache exposes the result cache (for stats and tests).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Metrics returns a consistent snapshot of the request telemetry — the
+// same payload GET /v1/metrics serves.
+func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot() }
 
 // SolveRequest is the body of POST /v1/solve.
 type SolveRequest struct {
@@ -117,8 +153,10 @@ type SolveRequest struct {
 	Mode string `json:"mode,omitempty"`
 }
 
-// SolveResult is the payload of a completed solve: the 200 body of a
-// synchronous POST /v1/solve and the "result" field of a finished job.
+// SolveResult is the payload of a completed solve: the "result" field of a
+// synchronous 200 body and of a finished job view. For identical
+// (instance, spec, seed) triples these bytes are identical on every
+// request path — batched, direct, deduplicated or replayed from cache.
 type SolveResult struct {
 	Solver       Spec         `json:"solver"`
 	Seed         uint64       `json:"seed"`
@@ -126,6 +164,15 @@ type SolveResult struct {
 	InstanceHash string       `json:"instanceHash"`
 	Metrics      wmn.Metrics  `json:"metrics"`
 	Solution     wmn.Solution `json:"solution"`
+}
+
+// SolveResponse is the 200 body of a synchronous POST /v1/solve: the
+// canonical solve payload plus this request's telemetry. Result stays
+// byte-identical for identical request triples; RequestMetrics describes
+// the path this particular request took (and so varies between repeats).
+type SolveResponse struct {
+	Result         json.RawMessage `json:"result"`
+	RequestMetrics RequestMetrics  `json:"requestMetrics"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -159,6 +206,10 @@ func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Catalog())
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	view, ok := s.jobs.get(id)
@@ -170,6 +221,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	admitted := time.Now()
 	var req SolveRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
@@ -213,9 +265,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if async {
-		job, err := s.jobs.submit(req.Solver, req.Seed, func() ([]byte, error) {
-			payload, _, err := s.solve(in, req.Solver, req.Seed)
-			return payload, err
+		job, err := s.jobs.submit(req.Solver, req.Seed, func() ([]byte, RequestMetrics, error) {
+			return s.solveInstrumented(in, req.Solver, req.Seed, "async", admitted)
 		})
 		if err != nil {
 			writeError(w, http.StatusTooManyRequests, "%v", err)
@@ -226,19 +277,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	payload, hit, err := s.solve(in, req.Solver, req.Seed)
+	payload, m, err := s.solveInstrumented(in, req.Solver, req.Seed, "sync", admitted)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "solve: %v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if hit {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
-	}
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(payload)
+	w.Header().Set("X-Cache", m.CachePath)
+	writeJSON(w, http.StatusOK, SolveResponse{Result: payload, RequestMetrics: m})
 }
 
 // maxRequestBytes bounds request bodies; a 4096-router 262144-client
@@ -279,40 +324,75 @@ func (s *Server) resolveInstance(req *SolveRequest) (*wmn.Instance, error) {
 	return in, nil
 }
 
-// solve answers one (instance, spec, seed) triple: from the cache when
-// possible, otherwise by running the solver and caching the marshaled
-// payload. The returned bytes are the canonical response body — identical
-// requests always yield identical bytes, cached or not.
-func (s *Server) solve(in *wmn.Instance, spec Spec, seed uint64) (payload []byte, hit bool, err error) {
+// nonNegNs clamps a duration to a non-negative nanosecond count. Dedup
+// waiters can attach to a computation that started before they were
+// admitted, which would otherwise report a negative queue wait.
+func nonNegNs(d time.Duration) int64 {
+	if d < 0 {
+		return 0
+	}
+	return d.Nanoseconds()
+}
+
+// solveInstrumented answers one (instance, spec, seed) triple and reports
+// how: from the cache (CacheHit), through the batcher (CacheMiss for the
+// request that opened the computation, CacheDedupWait for requests that
+// attached to it), or — when batching is disabled or shutting down — on
+// the direct inline path. The returned payload bytes are the canonical
+// SolveResult document, identical for identical triples on every path;
+// the RequestMetrics describe this request's trip and are folded into the
+// server aggregate behind GET /v1/metrics. admitted is when the request
+// entered the server, so async jobs account their pool queueing as queue
+// wait.
+func (s *Server) solveInstrumented(in *wmn.Instance, spec Spec, seed uint64, mode string, admitted time.Time) ([]byte, RequestMetrics, error) {
+	m := RequestMetrics{Mode: mode}
 	hash := HashInstance(in)
 	key := cacheKey(hash, spec, seed)
 	if b, ok := s.cache.Get(key); ok {
-		return b, true, nil
+		m.CachePath = CacheHit
+		m.QueueWaitNs = nonNegNs(time.Since(admitted))
+		m.TotalNs = m.QueueWaitNs
+		s.metrics.record(m)
+		return b, m, nil
 	}
 
-	sv, err := NewSolver(spec)
-	if err != nil {
-		return nil, false, err
+	if s.batch != nil {
+		comp, path, err := s.batch.enqueue(in, hash, key, spec, seed)
+		if err == nil {
+			<-comp.done
+			if comp.err != nil {
+				return nil, m, comp.err
+			}
+			m.CachePath = path
+			m.BatchSize = comp.batchSize
+			m.QueueWaitNs = nonNegNs(comp.runStart.Sub(admitted))
+			m.BatchBuildNs = comp.buildNs
+			m.SolveNs = comp.solveNs
+			m.TotalNs = nonNegNs(time.Since(admitted))
+			s.metrics.record(m)
+			return comp.payload, m, nil
+		}
+		// Batcher closed (shutdown): fall through to the direct path.
 	}
+
+	buildStart := time.Now()
+	m.QueueWaitNs = nonNegNs(buildStart.Sub(admitted))
 	eval, err := wmn.NewEvaluator(in, s.cfg.Eval)
 	if err != nil {
-		return nil, false, err
+		return nil, m, err
 	}
-	sol, metrics, err := sv.Solve(eval, seed)
+	m.BatchBuildNs = time.Since(buildStart).Nanoseconds()
+	solveStart := time.Now()
+	payload, err := solvePayload(eval, hash, spec, seed)
 	if err != nil {
-		return nil, false, err
+		return nil, m, err
 	}
-	payload, err = json.Marshal(SolveResult{
-		Solver:       spec,
-		Seed:         seed,
-		Instance:     in.Name,
-		InstanceHash: hash,
-		Metrics:      metrics,
-		Solution:     sol,
-	})
-	if err != nil {
-		return nil, false, err
-	}
+	m.SolveNs = time.Since(solveStart).Nanoseconds()
 	s.cache.Put(key, payload)
-	return payload, false, nil
+	m.CachePath = CacheMiss
+	m.BatchSize = 1
+	m.TotalNs = nonNegNs(time.Since(admitted))
+	s.metrics.recordComputations(1)
+	s.metrics.record(m)
+	return payload, m, nil
 }

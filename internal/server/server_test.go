@@ -35,6 +35,25 @@ func do(t *testing.T, srv *Server, method, path, body string) *httptest.Response
 	return w
 }
 
+// decodeEnvelope splits a 200 solve body into its canonical result bytes
+// and the per-request telemetry.
+func decodeEnvelope(t *testing.T, body []byte) (json.RawMessage, RequestMetrics) {
+	t.Helper()
+	var env SolveResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("decode solve envelope: %v (body %s)", err, body)
+	}
+	return env.Result, env.RequestMetrics
+}
+
+// resultBytes returns just the canonical result payload of a 200 body —
+// the part that is byte-identical for identical request triples.
+func resultBytes(t *testing.T, body []byte) []byte {
+	t.Helper()
+	res, _ := decodeEnvelope(t, body)
+	return res
+}
+
 // solveBody builds a /v1/solve request body embedding the test instance.
 func solveBody(t *testing.T, in *wmn.Instance, solver string, seed uint64) string {
 	t.Helper()
@@ -125,8 +144,9 @@ func TestSolveAnswersEveryRegisteredSolver(t *testing.T) {
 		if first.Code != http.StatusOK {
 			t.Fatalf("%s: solve = %d (body %s)", spec, first.Code, first.Body.String())
 		}
+		raw, m := decodeEnvelope(t, first.Body.Bytes())
 		var res SolveResult
-		if err := json.Unmarshal(first.Body.Bytes(), &res); err != nil {
+		if err := json.Unmarshal(raw, &res); err != nil {
 			t.Fatalf("%s: decode result: %v", spec, err)
 		}
 		if res.Solver.String() != spec.String() || res.Seed != 42 {
@@ -135,12 +155,15 @@ func TestSolveAnswersEveryRegisteredSolver(t *testing.T) {
 		if err := res.Solution.Validate(in); err != nil {
 			t.Errorf("%s: served solution invalid: %v", spec, err)
 		}
+		if m.Mode != "sync" || m.CachePath == "" {
+			t.Errorf("%s: request metrics unpopulated: %+v", spec, m)
+		}
 		second := do(t, srv, "POST", "/v1/solve", body)
 		if second.Header().Get("X-Cache") != "hit" {
 			t.Errorf("%s: repeat was not a cache hit", spec)
 		}
-		if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
-			t.Errorf("%s: repeat not byte-identical", spec)
+		if !bytes.Equal(raw, resultBytes(t, second.Body.Bytes())) {
+			t.Errorf("%s: repeat result not byte-identical", spec)
 		}
 	}
 	for _, kind := range Kinds() {
@@ -181,8 +204,8 @@ func TestSolveCacheHitIsByteIdentical(t *testing.T) {
 	if got := second.Header().Get("X-Cache"); got != "hit" {
 		t.Errorf("second solve X-Cache = %q, want hit", got)
 	}
-	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
-		t.Error("cached response is not byte-identical to the computed one")
+	if !bytes.Equal(resultBytes(t, first.Body.Bytes()), resultBytes(t, second.Body.Bytes())) {
+		t.Error("cached result is not byte-identical to the computed one")
 	}
 
 	// A different seed is a different entry, not a hit.
@@ -190,7 +213,7 @@ func TestSolveCacheHitIsByteIdentical(t *testing.T) {
 	if got := other.Header().Get("X-Cache"); got != "miss" {
 		t.Errorf("different seed X-Cache = %q, want miss", got)
 	}
-	if bytes.Equal(first.Body.Bytes(), other.Body.Bytes()) {
+	if bytes.Equal(resultBytes(t, first.Body.Bytes()), resultBytes(t, other.Body.Bytes())) {
 		t.Error("different seeds returned identical solutions payloads")
 	}
 }
@@ -223,8 +246,8 @@ func TestConcurrentSolveDeterminism(t *testing.T) {
 		if b == nil {
 			t.Fatalf("request %d failed", i)
 		}
-		if !bytes.Equal(bodies[0], b) {
-			t.Fatalf("request %d body differs from request 0", i)
+		if !bytes.Equal(resultBytes(t, bodies[0]), resultBytes(t, b)) {
+			t.Fatalf("request %d result differs from request 0", i)
 		}
 	}
 	stats := srv.Cache().Stats()
@@ -292,8 +315,11 @@ func TestAsyncSolveOverThreshold(t *testing.T) {
 	if sync.Header().Get("X-Cache") != "hit" {
 		t.Error("sync solve after async job missed the cache")
 	}
-	if !bytes.Equal([]byte(view.Result), sync.Body.Bytes()) {
+	if !bytes.Equal([]byte(view.Result), resultBytes(t, sync.Body.Bytes())) {
 		t.Error("async result differs from sync solve bytes")
+	}
+	if view.RequestMetrics == nil || view.RequestMetrics.Mode != "async" {
+		t.Errorf("finished job carries no async request metrics: %+v", view.RequestMetrics)
 	}
 }
 
@@ -335,7 +361,7 @@ func TestSolveFromGenerateConfig(t *testing.T) {
 	if second.Header().Get("X-Cache") != "hit" {
 		t.Error("repeated generate request missed the cache")
 	}
-	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+	if !bytes.Equal(resultBytes(t, first.Body.Bytes()), resultBytes(t, second.Body.Bytes())) {
 		t.Error("repeated generate request not byte-identical")
 	}
 }
@@ -367,7 +393,7 @@ func TestCacheDisabled(t *testing.T) {
 		t.Error("disabled cache reported a hit")
 	}
 	// Determinism holds even without the cache.
-	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+	if !bytes.Equal(resultBytes(t, first.Body.Bytes()), resultBytes(t, second.Body.Bytes())) {
 		t.Error("uncached repeats not byte-identical")
 	}
 }
@@ -396,7 +422,10 @@ func TestAsyncBacklogLimitReturns429(t *testing.T) {
 
 	release := make(chan struct{})
 	spec, _ := ParseSpec("adhoc")
-	if _, err := srv.jobs.submit(spec, 99, func() ([]byte, error) { <-release; return []byte("{}"), nil }); err != nil {
+	if _, err := srv.jobs.submit(spec, 99, func() ([]byte, RequestMetrics, error) {
+		<-release
+		return []byte("{}"), RequestMetrics{}, nil
+	}); err != nil {
 		t.Fatal(err)
 	}
 	w := do(t, srv, "POST", "/v1/solve", solveBody(t, in, "adhoc", 1))

@@ -28,6 +28,22 @@ type (
 	SolveJob = server.JobView
 	// SolveResultPayload is the JSON payload of a completed solve.
 	SolveResultPayload = server.SolveResult
+	// SolveEnvelope is the 200 body of a synchronous POST /v1/solve: the
+	// result payload plus the request's telemetry.
+	SolveEnvelope = server.SolveResponse
+	// SolveMetrics is the flat per-request telemetry attached to every
+	// solve response (queue wait, batch build, solve, cache path).
+	SolveMetrics = server.RequestMetrics
+	// ServerMetrics is the aggregated telemetry served by GET /v1/metrics:
+	// monotonic request/batch counters plus p50/p99 per phase.
+	ServerMetrics = server.MetricsSnapshot
+	// ServerPhaseStats aggregates one request phase inside ServerMetrics.
+	ServerPhaseStats = server.PhaseStats
+	// LoadgenConfig parameterizes RunLoadgen.
+	LoadgenConfig = server.LoadgenConfig
+	// LoadgenReport is the outcome of one load run: client-observed
+	// latency/throughput plus the target's ServerMetrics snapshot.
+	LoadgenReport = server.LoadgenReport
 )
 
 // ParseSolverSpec parses the solver-spec syntax, e.g. "adhoc:method=Near",
@@ -67,6 +83,12 @@ func Solve(spec SolverSpec, in *Instance, seed uint64) (Solution, Metrics, error
 func DefaultServerConfig() ServerConfig { return server.DefaultConfig() }
 
 // NewServer constructs the HTTP placement service: POST /v1/solve (sync or
-// async by instance size), GET /v1/jobs/{id}, GET /v1/solvers and
-// GET /healthz. Call Close to release its worker pool.
+// async by instance size, with identical concurrent requests batched and
+// deduplicated into one computation), GET /v1/jobs/{id}, GET /v1/solvers,
+// GET /v1/metrics and GET /healthz. Call Close to release its worker pools.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// RunLoadgen drives a request load at a placement server (the library form
+// of `wmnplace loadgen`) and reports client-observed throughput and latency
+// alongside the server's own telemetry.
+func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) { return server.RunLoadgen(cfg) }
