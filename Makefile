@@ -5,19 +5,20 @@ GO ?= go
 
 # Per-PR benchmark stream: override for a scratch run, e.g.
 #   make bench BENCH_OUT=BENCH_CI.json
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 # Committed baseline the regression check diffs against.
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR6.json
 
 .PHONY: ci vet build test race bench benchdiff fmt-check fuzz-smoke
 
 ci: vet build race
 
-# The explicit second vet keeps the serving, scenario and incremental-
-# evaluation layers in the gate even if the ./... pattern is ever narrowed.
+# The explicit second vet keeps the serving, cluster, scenario and
+# incremental-evaluation layers in the gate even if the ./... pattern is
+# ever narrowed.
 vet:
 	$(GO) vet ./...
-	$(GO) vet ./internal/server ./internal/scenarios
+	$(GO) vet ./internal/server ./internal/cluster ./internal/scenarios
 	$(GO) vet ./internal/wmn ./internal/spatial ./internal/localsearch ./internal/ga
 
 build:
@@ -45,12 +46,14 @@ bench:
 
 # Per-benchmark ns/op deltas between the committed baseline stream and the
 # current one; non-zero exit when a gated benchmark (default
-# BenchmarkIncrementalVsFull) slows down more than 25%, or when the
-# within-stream batched/unbatched serve ratio exceeds 1 (batching must not
-# lose to the direct path on the machine that recorded the stream).
+# BenchmarkIncrementalVsFull) slows down more than 25%, or when a
+# within-stream ratio gate fails: batched serving must not lose to the
+# unbatched path, and incremental evaluation must stay at or under half of
+# full evaluation, both measured on the machine that recorded the stream.
 benchdiff:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $(BENCH_OUT) \
-		-ratio 'BenchmarkServeBatched/batched,BenchmarkServeBatched/unbatched'
+		-ratio 'BenchmarkServeBatched/batched,BenchmarkServeBatched/unbatched' \
+		-ratio 'BenchmarkIncrementalVsFull/10x/incremental,BenchmarkIncrementalVsFull/10x/full,0.5'
 
 # Source formatting check (CI fails on drift; gofmt -l prints offenders).
 fmt-check:

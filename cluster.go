@@ -1,0 +1,47 @@
+package meshplace
+
+import (
+	"meshplace/internal/cluster"
+	"meshplace/internal/server"
+)
+
+// Scale-out types (see the cluster documentation for full semantics). A
+// ClusterNode wraps the placement Server as one replica of a sharded
+// replica set: solves route by instance hash to the owning replica via a
+// consistent-hash ring, results persist in an append-only journal replayed
+// on restart, long jobs stream progress over SSE, and per-key token-bucket
+// quotas shed excess load with 429s.
+type (
+	// ClusterConfig parameterizes NewClusterNode (self URL, peer list,
+	// journal path, quota, embedded ServerConfig).
+	ClusterConfig = cluster.Config
+	// ClusterNode is one replica of the sharded service; it implements
+	// http.Handler and answers every replica-set request from any node.
+	ClusterNode = cluster.Node
+	// ClusterQuota is the per-key token-bucket quota configuration; parse
+	// the "RATE[:BURST]" flag syntax with ParseClusterQuota.
+	ClusterQuota = cluster.QuotaConfig
+	// ResultJournal is the append-only content-addressed result store a
+	// replica replays on startup; torn or corrupt tails are discarded, not
+	// fatal.
+	ResultJournal = cluster.Journal
+	// ResultJournalStats reports a journal's replay outcome and growth.
+	ResultJournalStats = cluster.JournalStats
+	// ResultStore is the persistence interface a Server consults between
+	// its LRU cache and a fresh computation; ResultJournal implements it.
+	ResultStore = server.ResultStore
+	// SolveProgressEvent is one SSE progress event of
+	// GET /v1/jobs/{id}/events, built from the solver's phase trace.
+	SolveProgressEvent = server.ProgressEvent
+)
+
+// NewClusterNode builds one replica of the sharded placement service.
+func NewClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return cluster.New(cfg) }
+
+// ParseClusterQuota parses the "RATE[:BURST]" quota syntax used by
+// `wmnplace serve -quota`; the empty string disables quotas.
+func ParseClusterQuota(s string) (ClusterQuota, error) { return cluster.ParseQuota(s) }
+
+// OpenResultJournal opens (or creates) an append-only result journal,
+// replaying every intact record and truncating any torn tail.
+func OpenResultJournal(path string) (*ResultJournal, error) { return cluster.OpenJournal(path) }

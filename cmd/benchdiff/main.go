@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchdiff -old BENCH_PR4.json -new BENCH_PR5.json [-threshold 25] [-fail regexp] [-ratio NUM,DEN] [-ratiomax 1.0]
+//	benchdiff -old BENCH_PR4.json -new BENCH_PR5.json [-threshold 25] [-fail regexp] [-ratio NUM,DEN[,MAX]]... [-ratiomax 1.0]
 //
 // Every benchmark present in both files is listed with its old and new
 // ns/op and the relative change. Benchmarks matching -fail (default
@@ -15,12 +15,15 @@
 //
 // -ratio adds a within-stream gate that is independent of the hardware the
 // stream was recorded on: it names two benchmarks of the -new stream
-// (numerator,denominator) and fails when their ns/op ratio exceeds
-// -ratiomax. The serving layer uses it to pin BenchmarkServeBatched/batched
-// at or below BenchmarkServeBatched/unbatched — batching must keep beating
-// the unbatched path on whatever machine ran the benchmarks. Either
-// benchmark missing from the -new stream is an error, not a skip, so the
-// gate cannot silently rot away.
+// (numerator,denominator) and fails when their ns/op ratio exceeds the
+// gate's maximum — an optional third MAX component, defaulting to
+// -ratiomax. The flag repeats, one gate per occurrence. The serving layer
+// pins BenchmarkServeBatched/batched at or below
+// BenchmarkServeBatched/unbatched — batching must keep beating the
+// unbatched path on whatever machine ran the benchmarks — and the search
+// hot loop pins incremental evaluation at half of full evaluation or
+// better. Either benchmark missing from the -new stream is an error, not a
+// skip, so a gate cannot silently rot away.
 //
 // A benchmark that appears several times in one stream (e.g. the
 // high-iteration second BenchmarkIncrementalVsFull pass) is reduced to its
@@ -53,8 +56,9 @@ func run(args []string, stdout io.Writer) error {
 	newPath := fs.String("new", "", "candidate test2json stream to compare against the baseline")
 	threshold := fs.Float64("threshold", 25, "maximum tolerated slowdown of gated benchmarks, in percent")
 	failPat := fs.String("fail", "^BenchmarkIncrementalVsFull", "regexp of benchmark names gating the exit status")
-	ratioPair := fs.String("ratio", "", "NUM,DEN benchmark names in the -new stream whose ns/op ratio is gated (empty disables)")
-	ratioMax := fs.Float64("ratiomax", 1.0, "maximum tolerated ns/op ratio NUM/DEN for the -ratio pair")
+	var ratioPairs repeated
+	fs.Var(&ratioPairs, "ratio", "NUM,DEN[,MAX] benchmark names in the -new stream whose ns/op ratio is gated; repeatable, one gate per occurrence")
+	ratioMax := fs.Float64("ratiomax", 1.0, "default maximum ns/op ratio for -ratio gates without their own MAX")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,8 +118,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "compared %d benchmarks (* = gated by %q at %g%%)\n", len(names), *failPat, *threshold)
 
-	if *ratioPair != "" {
-		if err := checkRatio(stdout, newRes, *newPath, *ratioPair, *ratioMax); err != nil {
+	for _, pair := range ratioPairs {
+		if err := checkRatio(stdout, newRes, *newPath, pair, *ratioMax); err != nil {
 			return err
 		}
 	}
@@ -126,11 +130,29 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// checkRatio enforces the within-stream -ratio gate on the -new results.
+// repeated collects every occurrence of a repeatable string flag.
+type repeated []string
+
+func (r *repeated) String() string { return strings.Join(*r, "; ") }
+func (r *repeated) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// checkRatio enforces one within-stream -ratio gate on the -new results.
+// The gate's maximum is the pair's own third component when present,
+// -ratiomax otherwise.
 func checkRatio(stdout io.Writer, res map[string]float64, path, pair string, max float64) error {
 	parts := strings.Split(pair, ",")
-	if len(parts) != 2 {
-		return fmt.Errorf("-ratio wants exactly NUM,DEN benchmark names, got %q", pair)
+	if len(parts) != 2 && len(parts) != 3 {
+		return fmt.Errorf("-ratio wants NUM,DEN[,MAX], got %q", pair)
+	}
+	if len(parts) == 3 {
+		m, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil || m <= 0 {
+			return fmt.Errorf("-ratio %q: MAX %q is not a positive number", pair, parts[2])
+		}
+		max = m
 	}
 	numName, denName := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
 	num, ok := res[numName]

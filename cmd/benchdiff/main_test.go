@@ -122,6 +122,45 @@ func TestRunRatioGateAboveMaxFails(t *testing.T) {
 	}
 }
 
+func TestRunRepeatedRatioGates(t *testing.T) {
+	// Two -ratio occurrences gate two independent pairs in one run, the
+	// second with its own MAX: batched/unbatched = 0.8 under the default
+	// 1.0, incremental/full = 450/5000 = 0.09 under its explicit 0.5.
+	var out strings.Builder
+	err := run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ratio.json"),
+		"-ratio", "BenchmarkServeBatched/batched,BenchmarkServeBatched/unbatched",
+		"-ratio", "BenchmarkIncrementalVsFull/10x/incremental,BenchmarkIncrementalVsFull/10x/full,0.5"}, &out)
+	if err != nil {
+		t.Fatalf("two passing ratio gates failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"ratio BenchmarkServeBatched/batched / BenchmarkServeBatched/unbatched = 0.800",
+		"ratio BenchmarkIncrementalVsFull/10x/incremental / BenchmarkIncrementalVsFull/10x/full = 0.090",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report lacks %q:\n%s", want, out.String())
+		}
+	}
+
+	// A failing second gate fails the run even though the first passes.
+	err = run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ratio.json"),
+		"-ratio", "BenchmarkServeBatched/batched,BenchmarkServeBatched/unbatched",
+		"-ratio", "BenchmarkIncrementalVsFull/10x/incremental,BenchmarkIncrementalVsFull/10x/full,0.05"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "ratio gate failed") {
+		t.Errorf("0.09 ratio passed a 0.05 gate: %v", err)
+	}
+}
+
+func TestRunRatioPerGateMaxOverridesDefault(t *testing.T) {
+	// An explicit per-gate MAX wins over a tighter -ratiomax.
+	err := run([]string{"-old", fixture("bench_old.json"), "-new", fixture("bench_new_ratio.json"),
+		"-ratio", "BenchmarkServeBatched/batched,BenchmarkServeBatched/unbatched,0.9",
+		"-ratiomax", "0.5"}, &strings.Builder{})
+	if err != nil {
+		t.Errorf("per-gate MAX 0.9 did not override -ratiomax 0.5: %v", err)
+	}
+}
+
 func TestRunRatioGateMissingBenchmarkIsError(t *testing.T) {
 	// A ratio benchmark absent from the -new stream is an error, not a
 	// skip: the gate must not rot away silently when a benchmark is renamed.

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"meshplace/internal/scenarios"
@@ -21,7 +22,7 @@ import (
 // port so a single command measures the serving layer end to end.
 func runLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
-	addr := fs.String("addr", "", "target server base address host:port (empty: run an in-process server)")
+	addr := fs.String("addr", "", "target address host:port, or a comma-separated list spread round-robin (empty: run an in-process server)")
 	specFlag := fs.String("spec", "adhoc:method=Near", "solver spec driven on every request")
 	scenario := fs.String("scenario", "v1-base-hotspots", "corpus scenario embedded in every request")
 	corpusSeed := fs.Uint64("corpus-seed", 1, "corpus seed the scenario is materialized from")
@@ -50,8 +51,13 @@ func runLoadgen(args []string) error {
 		return err
 	}
 
-	base := *addr
-	if base == "" {
+	var targets []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			targets = append(targets, "http://"+a)
+		}
+	}
+	if len(targets) == 0 {
 		cfg := server.DefaultConfig()
 		cfg.Workers = *workers
 		cfg.BatchSize = *batch
@@ -68,12 +74,12 @@ func runLoadgen(args []string) error {
 		httpSrv := &http.Server{Handler: srv}
 		go httpSrv.Serve(ln)
 		defer httpSrv.Close()
-		base = ln.Addr().String()
-		fmt.Fprintf(os.Stderr, "wmnplace: loadgen target in-process server on %s\n", base)
+		targets = []string{"http://" + ln.Addr().String()}
+		fmt.Fprintf(os.Stderr, "wmnplace: loadgen target in-process server on %s\n", ln.Addr())
 	}
 
 	cfg := server.LoadgenConfig{
-		BaseURL:     "http://" + base,
+		BaseURLs:    targets,
 		Spec:        spec,
 		Instance:    in,
 		Seeds:       *seeds,
@@ -104,7 +110,7 @@ func runLoadgen(args []string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(report)
 	}
-	fmt.Printf("loadgen: %s seeds=%d against %s\n", spec, *seeds, cfg.BaseURL)
+	fmt.Printf("loadgen: %s seeds=%d against %s\n", spec, *seeds, strings.Join(targets, ", "))
 	report.Render(os.Stdout)
 	return nil
 }

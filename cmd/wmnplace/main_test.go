@@ -171,6 +171,17 @@ func TestLoadgenCommand(t *testing.T) {
 	}
 }
 
+func TestServeCommandErrors(t *testing.T) {
+	// Cluster-mode flag validation fails before serving starts.
+	if err := run([]string{"serve", "-addr", "127.0.0.1:0", "-quota", "abc"}); err == nil {
+		t.Error("bad quota accepted")
+	}
+	if err := run([]string{"serve", "-addr", "127.0.0.1:0",
+		"-peers", "http://other:1", "-self", "http://me:2"}); err == nil {
+		t.Error("self outside the peer list accepted")
+	}
+}
+
 func TestLoadgenCommandErrors(t *testing.T) {
 	if err := run([]string{"loadgen", "-scenario", "v1-mega-spiral", "-requests", "1"}); err == nil {
 		t.Error("unknown scenario accepted")

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// QuotaConfig parameterizes per-key admission control on POST /v1/solve.
+// Each distinct API key (the X-API-Key request header; requests without
+// one share the anonymous bucket) gets its own token bucket: Burst tokens
+// to start, refilled at RatePerSec. A request over quota is rejected with
+// 429 and a Retry-After telling the client when a token will be back. The
+// zero value disables quotas.
+type QuotaConfig struct {
+	// RatePerSec is the sustained refill rate per key. <= 0 disables
+	// quotas entirely.
+	RatePerSec float64
+	// Burst is the bucket capacity — how many requests a key can issue
+	// back-to-back before pacing kicks in. 0 selects ceil(RatePerSec),
+	// minimum 1.
+	Burst int
+}
+
+// Enabled reports whether the config imposes any quota.
+func (c QuotaConfig) Enabled() bool { return c.RatePerSec > 0 }
+
+// ParseQuota parses the -quota flag syntax "RATE[:BURST]", e.g. "10" (10
+// requests/s, burst 10) or "0.5:3" (one request per 2s, burst 3). The
+// empty string disables quotas.
+func ParseQuota(s string) (QuotaConfig, error) {
+	if s == "" {
+		return QuotaConfig{}, nil
+	}
+	rateStr, burstStr, hasBurst := strings.Cut(s, ":")
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate <= 0 {
+		return QuotaConfig{}, fmt.Errorf("cluster: quota rate %q: want a positive number", rateStr)
+	}
+	cfg := QuotaConfig{RatePerSec: rate}
+	if hasBurst {
+		burst, err := strconv.Atoi(burstStr)
+		if err != nil || burst < 1 {
+			return QuotaConfig{}, fmt.Errorf("cluster: quota burst %q: want a positive integer", burstStr)
+		}
+		cfg.Burst = burst
+	}
+	return cfg, nil
+}
+
+// quotaSet holds one token bucket per API key. Buckets are created on
+// first use and refilled lazily at Allow time — no background goroutine.
+type quotaSet struct {
+	cfg   QuotaConfig
+	burst float64
+	now   func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaSet(cfg QuotaConfig, now func() time.Time) *quotaSet {
+	if now == nil {
+		now = time.Now
+	}
+	burst := float64(cfg.Burst)
+	if cfg.Burst == 0 {
+		burst = math.Ceil(cfg.RatePerSec)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &quotaSet{cfg: cfg, burst: burst, now: now, buckets: map[string]*bucket{}}
+}
+
+// allow takes one token from key's bucket. When the bucket is empty it
+// returns false and how long until the next token refills — the 429's
+// Retry-After.
+func (q *quotaSet) allow(key string) (ok bool, retryAfter time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.cfg.RatePerSec
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.cfg.RatePerSec
+	return false, time.Duration(need * float64(time.Second))
+}

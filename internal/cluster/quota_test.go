@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseQuota(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    QuotaConfig
+		wantErr bool
+	}{
+		{"", QuotaConfig{}, false},
+		{"10", QuotaConfig{RatePerSec: 10}, false},
+		{"0.5:3", QuotaConfig{RatePerSec: 0.5, Burst: 3}, false},
+		{"-1", QuotaConfig{}, true},
+		{"abc", QuotaConfig{}, true},
+		{"10:0", QuotaConfig{}, true},
+		{"10:x", QuotaConfig{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseQuota(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseQuota(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("ParseQuota(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestQuotaBucketBehavior drives the token bucket with an injected clock:
+// burst N admits exactly N back-to-back, the N+1th is rejected with a
+// sensible retry hint, refill restores admission, and keys are isolated.
+func TestQuotaBucketBehavior(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	q := newQuotaSet(QuotaConfig{RatePerSec: 2, Burst: 4}, clock)
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := q.allow("alice"); !ok {
+			t.Fatalf("request %d rejected inside burst", i+1)
+		}
+	}
+	ok, retry := q.allow("alice")
+	if ok {
+		t.Fatal("request over burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		// At 2 tokens/s an empty bucket refills one token in 500ms.
+		t.Errorf("retryAfter = %v, want (0, 1s]", retry)
+	}
+
+	// Another key is untouched.
+	if ok, _ := q.allow("bob"); !ok {
+		t.Error("independent key rejected")
+	}
+
+	// Refill: 1s at 2/s restores 2 tokens.
+	now = now.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.allow("alice"); !ok {
+			t.Fatalf("refilled request %d rejected", i+1)
+		}
+	}
+	if ok, _ := q.allow("alice"); ok {
+		t.Error("third request after a 2-token refill admitted")
+	}
+
+	// Tokens cap at burst: a long idle stretch does not bank extra.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.allow("alice"); ok {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Errorf("after long idle %d admitted, want burst of 4", admitted)
+	}
+}
+
+// TestQuotaDefaultBurst: Burst 0 selects ceil(rate), minimum 1.
+func TestQuotaDefaultBurst(t *testing.T) {
+	now := time.Unix(0, 0)
+	q := newQuotaSet(QuotaConfig{RatePerSec: 2.5}, func() time.Time { return now })
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.allow("k"); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 { // ceil(2.5)
+		t.Errorf("default burst admitted %d, want 3", admitted)
+	}
+	slow := newQuotaSet(QuotaConfig{RatePerSec: 0.25}, func() time.Time { return now })
+	if ok, _ := slow.allow("k"); !ok {
+		t.Error("minimum burst of 1 not honored")
+	}
+}

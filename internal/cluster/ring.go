@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerPeer is how many points each peer contributes to the hash ring.
+// More points smooth the key distribution across peers; 64 keeps the
+// per-peer imbalance within a few percent at the replica counts this
+// service targets.
+const vnodesPerPeer = 64
+
+// Ring is a consistent-hash ring over the replica set. Every replica
+// builds the ring from the same peer list (order-insensitive: peers are
+// sorted before hashing), so all replicas agree on which peer owns any
+// key without coordination — that agreement is what lets any replica
+// answer any request by either solving locally or forwarding exactly once.
+type Ring struct {
+	peers  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds the ring from the peer URLs. Duplicates are collapsed.
+func NewRing(peers []string) (*Ring, error) {
+	uniq := map[string]bool{}
+	var list []string
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer URL")
+		}
+		if !uniq[p] {
+			uniq[p] = true
+			list = append(list, p)
+		}
+	}
+	if len(list) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	sort.Strings(list)
+	r := &Ring{peers: list}
+	for _, peer := range list {
+		for i := 0; i < vnodesPerPeer; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", peer, i)), peer: peer})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by peer name so every
+		// replica still orders the ring identically.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// Peers returns the distinct peers on the ring, sorted.
+func (r *Ring) Peers() []string {
+	out := make([]string, len(r.peers))
+	copy(out, r.peers)
+	return out
+}
+
+// Owner returns the peer owning key: the first ring point at or after the
+// key's hash, wrapping around.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NodeIDFor derives a replica's compact cluster identity from its URL —
+// the prefix its job IDs carry, which is how any replica maps a job
+// handle back to the replica that owns the job. Stable across restarts
+// (it depends only on the URL).
+func NodeIDFor(url string) string {
+	h := fnv.New32a()
+	h.Write([]byte(url))
+	return fmt.Sprintf("n%08x", h.Sum32())
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingIsOrderIndependent pins the coordination-free agreement every
+// replica relies on: any permutation of the peer list yields the same
+// owner for every key.
+func TestRingIsOrderIndependent(t *testing.T) {
+	peers := []string{"http://c:1", "http://a:1", "http://b:1"}
+	perms := [][]string{
+		{peers[0], peers[1], peers[2]},
+		{peers[2], peers[0], peers[1]},
+		{peers[1], peers[2], peers[0]},
+	}
+	rings := make([]*Ring, len(perms))
+	for i, p := range perms {
+		r, err := NewRing(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("instance-hash-%d", k)
+		want := rings[0].Owner(key)
+		for i := 1; i < len(rings); i++ {
+			if got := rings[i].Owner(key); got != want {
+				t.Fatalf("key %q: ring %d owner %q, ring 0 owner %q", key, i, got, want)
+			}
+		}
+	}
+}
+
+// TestRingSpreadsKeys sanity-checks the virtual-node distribution: over
+// many keys every peer owns a nontrivial share.
+func TestRingSpreadsKeys(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for k := 0; k < n; k++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", k))]++
+	}
+	for peer, c := range counts {
+		if c < n/10 {
+			t.Errorf("peer %s owns only %d of %d keys", peer, c, n)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("only %d peers own keys", len(counts))
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{""}); err == nil {
+		t.Error("empty peer URL accepted")
+	}
+}
+
+// TestRingSingleAndDuplicatePeers: one peer owns everything; duplicates
+// collapse.
+func TestRingSingleAndDuplicatePeers(t *testing.T) {
+	r, err := NewRing([]string{"http://only:1", "http://only:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peers(); len(got) != 1 {
+		t.Fatalf("duplicate peers not collapsed: %v", got)
+	}
+	for k := 0; k < 50; k++ {
+		if got := r.Owner(fmt.Sprintf("k%d", k)); got != "http://only:1" {
+			t.Fatalf("owner = %q", got)
+		}
+	}
+}
+
+// TestNodeIDForIsStableAndDistinct: the job-ID prefix is a pure function
+// of the URL and differs between peers.
+func TestNodeIDForIsStableAndDistinct(t *testing.T) {
+	a1 := NodeIDFor("http://a:1")
+	a2 := NodeIDFor("http://a:1")
+	b := NodeIDFor("http://b:1")
+	if a1 != a2 {
+		t.Error("NodeIDFor not stable")
+	}
+	if a1 == b {
+		t.Error("distinct URLs share a node ID")
+	}
+	if len(a1) != 9 || a1[0] != 'n' {
+		t.Errorf("node id %q not in n%%08x form", a1)
+	}
+}

@@ -132,6 +132,17 @@ type Config struct {
 	// RecordEvery records a history point every that many generations
 	// (plus the final generation). Default 5.
 	RecordEvery int
+	// OnGeneration, when non-nil, is called at the same cadence history
+	// records are taken (every RecordEvery generations plus the final one)
+	// with the generation number and the best metrics so far — the hook
+	// live progress consumers (the serving layer's SSE streams) attach to.
+	// It runs on the evolving goroutine; slow consumers must buffer, not
+	// block. Under RunIslands every island shares this Config, so the hook
+	// fires concurrently from every island's goroutine — use
+	// IslandConfig.OnBarrier for serialized, monotonic progress instead.
+	// It does not touch any RNG stream, so wiring it never perturbs the
+	// run's results.
+	OnGeneration func(gen int, best wmn.Metrics)
 }
 
 // DefaultConfig returns the experiment configuration described in
@@ -357,6 +368,9 @@ func (ru *run) evolve(from, to int) {
 		}
 		if gen%cfg.RecordEvery == 0 || gen == cfg.Generations {
 			ru.res.History = append(ru.res.History, record(gen, ru.pop, ru.res.BestMetrics, ru.bestGiant))
+			if cfg.OnGeneration != nil {
+				cfg.OnGeneration(gen, ru.res.BestMetrics)
+			}
 		}
 	}
 }

@@ -1,0 +1,86 @@
+package ga
+
+import (
+	"testing"
+
+	"meshplace/internal/rng"
+	"meshplace/internal/wmn"
+)
+
+// TestOnGenerationMatchesHistory pins the live-hook contract: OnGeneration
+// fires at exactly the history cadence with the history's best-so-far
+// metrics, and wiring it never changes the run (no RNG stream is touched).
+func TestOnGenerationMatchesHistory(t *testing.T) {
+	_, eval := testSetup(t)
+	init := hotspotInit(t)
+
+	plain, err := Run(eval, init, quickCfg(), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type point struct {
+		gen     int
+		fitness float64
+	}
+	var hooked []point
+	cfg := quickCfg()
+	cfg.OnGeneration = func(gen int, best wmn.Metrics) {
+		hooked = append(hooked, point{gen: gen, fitness: best.Fitness})
+	}
+	res, err := Run(eval, init, cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMetrics != plain.BestMetrics {
+		t.Errorf("hook changed the result: %v vs %v", res.BestMetrics, plain.BestMetrics)
+	}
+	if len(hooked) != len(res.History) {
+		t.Fatalf("hooked %d points, history has %d", len(hooked), len(res.History))
+	}
+	for i, h := range hooked {
+		rec := res.History[i]
+		if h.gen != rec.Generation || h.fitness != rec.BestFitness {
+			t.Errorf("point %d: hooked (gen %d, %.6f), history (gen %d, %.6f)",
+				i, h.gen, h.fitness, rec.Generation, rec.BestFitness)
+		}
+	}
+}
+
+// TestOnBarrierIsMonotonic pins the island-model progress hook: it fires
+// once per evolution chunk on the coordinating goroutine, generations
+// strictly increase, best fitness never decreases, and the final call
+// reports the run's final generation and best.
+func TestOnBarrierIsMonotonic(t *testing.T) {
+	_, eval := testSetup(t)
+	init := hotspotInit(t)
+
+	cfg := IslandConfig{Config: quickCfg(), Islands: 3, MigrateEvery: 10, Migrants: 2}
+	var gens []int
+	var fits []float64
+	cfg.OnBarrier = func(gen int, best wmn.Metrics) {
+		gens = append(gens, gen)
+		fits = append(fits, best.Fitness)
+	}
+	res, err := RunIslands(eval, init, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 { // 30 generations in chunks of 10
+		t.Fatalf("barrier hook fired %d times, want 3", len(gens))
+	}
+	for i := 1; i < len(gens); i++ {
+		if gens[i] <= gens[i-1] {
+			t.Errorf("generations not increasing: %v", gens)
+		}
+		if fits[i] < fits[i-1] {
+			t.Errorf("best fitness decreased across barriers: %v", fits)
+		}
+	}
+	if gens[len(gens)-1] != 30 {
+		t.Errorf("last barrier at generation %d, want 30", gens[len(gens)-1])
+	}
+	if fits[len(fits)-1] != res.BestMetrics.Fitness {
+		t.Errorf("last barrier fitness %.6f, result best %.6f", fits[len(fits)-1], res.BestMetrics.Fitness)
+	}
+}

@@ -109,6 +109,15 @@ type IslandConfig struct {
 	// worker count) or ForEachIndexedOn (bound to the process-wide pool);
 	// the result is identical either way.
 	FanOut FanOut
+	// OnBarrier, when non-nil, is called after every evolution chunk (each
+	// migration barrier plus the final chunk) with the chunk's last
+	// generation and the best metrics across all islands so far. Unlike
+	// Config.OnGeneration — which fires concurrently from every island's
+	// goroutine under FanOut — OnBarrier runs on the coordinating
+	// goroutine between chunks, so progress observed through it is
+	// monotonic in generation. It reads no RNG stream; wiring it never
+	// perturbs results.
+	OnBarrier func(gen int, best wmn.Metrics)
 }
 
 // DefaultIslandConfig returns the island-model defaults: four islands on a
@@ -264,6 +273,15 @@ func RunIslands(eval *wmn.Evaluator, init Initializer, cfg IslandConfig, seed ui
 		}
 		if end < cfg.Generations {
 			res.Migrations += migrate(runs, cfg)
+		}
+		if cfg.OnBarrier != nil {
+			best := runs[0].res.BestMetrics
+			for _, ru := range runs[1:] {
+				if ru.res.BestMetrics.Fitness > best.Fitness {
+					best = ru.res.BestMetrics
+				}
+			}
+			cfg.OnBarrier(end, best)
 		}
 	}
 

@@ -25,6 +25,9 @@ type HillClimbConfig struct {
 	// proposals. Default 256.
 	MaxNoImprove int
 	RecordTrace  bool
+	// OnPhase, when non-nil, receives each step's record live (see
+	// Config.OnPhase).
+	OnPhase func(PhaseRecord)
 }
 
 func (c HillClimbConfig) withDefaults() HillClimbConfig {
@@ -103,8 +106,12 @@ func HillClimb(eval *wmn.Evaluator, initial wmn.Solution, cfg HillClimbConfig, r
 			noImprove++
 		}
 		res.Phases = step
+		rec := PhaseRecord{Phase: step, Metrics: curMetrics, Accepted: accepted, Proposed: proposed}
 		if cfg.RecordTrace {
-			res.Trace = append(res.Trace, PhaseRecord{Phase: step, Metrics: curMetrics, Accepted: accepted, Proposed: proposed})
+			res.Trace = append(res.Trace, rec)
+		}
+		if cfg.OnPhase != nil {
+			cfg.OnPhase(rec)
 		}
 	}
 	return res, nil
@@ -121,6 +128,9 @@ type AnnealConfig struct {
 	RecordTrace        bool
 	// TraceEvery records a trace point every that many steps. Default 64.
 	TraceEvery int
+	// OnPhase, when non-nil, receives a record at TraceEvery cadence live
+	// (see Config.OnPhase).
+	OnPhase func(PhaseRecord)
 }
 
 func (c AnnealConfig) withDefaults() AnnealConfig {
@@ -207,8 +217,14 @@ func Anneal(eval *wmn.Evaluator, initial wmn.Solution, cfg AnnealConfig, r *rng.
 		}
 		temp *= cooling
 		res.Phases = step
-		if cfg.RecordTrace && step%cfg.TraceEvery == 0 {
-			res.Trace = append(res.Trace, PhaseRecord{Phase: step, Metrics: curMetrics, Accepted: accepted, Proposed: proposed})
+		if step%cfg.TraceEvery == 0 {
+			rec := PhaseRecord{Phase: step, Metrics: curMetrics, Accepted: accepted, Proposed: proposed}
+			if cfg.RecordTrace {
+				res.Trace = append(res.Trace, rec)
+			}
+			if cfg.OnPhase != nil {
+				cfg.OnPhase(rec)
+			}
 		}
 	}
 	return res, nil
@@ -225,6 +241,9 @@ type TabuConfig struct {
 	// Default 8.
 	Tenure      int
 	RecordTrace bool
+	// OnPhase, when non-nil, receives each phase's record live (see
+	// Config.OnPhase).
+	OnPhase func(PhaseRecord)
 }
 
 func (c TabuConfig) withDefaults() TabuConfig {
@@ -325,8 +344,12 @@ func Tabu(eval *wmn.Evaluator, initial wmn.Solution, cfg TabuConfig, r *rng.Rand
 			}
 		}
 		res.Phases = phase
+		rec := PhaseRecord{Phase: phase, Metrics: curMetrics, Accepted: found, Proposed: proposed}
 		if cfg.RecordTrace {
-			res.Trace = append(res.Trace, PhaseRecord{Phase: phase, Metrics: curMetrics, Accepted: found, Proposed: proposed})
+			res.Trace = append(res.Trace, rec)
+		}
+		if cfg.OnPhase != nil {
+			cfg.OnPhase(rec)
 		}
 	}
 	return res, nil

@@ -1,0 +1,81 @@
+package localsearch
+
+import (
+	"reflect"
+	"testing"
+
+	"meshplace/internal/rng"
+)
+
+// TestOnPhaseMatchesTrace pins the live-hook contract every driver shares:
+// OnPhase receives exactly the records a RecordTrace run would collect, in
+// order, and wiring the hook never changes the search outcome (it draws
+// from no RNG stream).
+func TestOnPhaseMatchesTrace(t *testing.T) {
+	in := testInstance(t)
+	eval := testEvaluator(t, in)
+	initial := randomSolution(in, 7)
+
+	t.Run("search", func(t *testing.T) {
+		var hooked []PhaseRecord
+		cfg := Config{Movement: RandomMovement{}, MaxPhases: 12, NeighborsPerPhase: 4, RecordTrace: true}
+		plain, err := Search(eval, initial, cfg, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.OnPhase = func(rec PhaseRecord) { hooked = append(hooked, rec) }
+		res, err := Search(eval, initial, cfg, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(hooked, res.Trace) {
+			t.Errorf("hooked records differ from trace:\n%v\nvs\n%v", hooked, res.Trace)
+		}
+		if res.BestMetrics != plain.BestMetrics {
+			t.Errorf("hook changed the result: %v vs %v", res.BestMetrics, plain.BestMetrics)
+		}
+	})
+
+	t.Run("hillclimb", func(t *testing.T) {
+		var hooked []PhaseRecord
+		cfg := HillClimbConfig{Movement: PerturbMovement{}, MaxSteps: 32, MaxNoImprove: 32, RecordTrace: true}
+		cfg.OnPhase = func(rec PhaseRecord) { hooked = append(hooked, rec) }
+		res, err := HillClimb(eval, initial, cfg, rng.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(hooked, res.Trace) {
+			t.Errorf("hooked records differ from trace")
+		}
+	})
+
+	t.Run("anneal", func(t *testing.T) {
+		// Anneal records (and hooks) at TraceEvery cadence, not every step.
+		var hooked []PhaseRecord
+		cfg := AnnealConfig{Movement: PerturbMovement{}, Steps: 64, TraceEvery: 16, RecordTrace: true}
+		cfg.OnPhase = func(rec PhaseRecord) { hooked = append(hooked, rec) }
+		res, err := Anneal(eval, initial, cfg, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hooked) != 4 {
+			t.Fatalf("anneal hooked %d records, want 4 (TraceEvery cadence)", len(hooked))
+		}
+		if !reflect.DeepEqual(hooked, res.Trace) {
+			t.Errorf("hooked records differ from trace")
+		}
+	})
+
+	t.Run("tabu", func(t *testing.T) {
+		var hooked []PhaseRecord
+		cfg := TabuConfig{Movement: RandomMovement{}, MaxPhases: 10, NeighborsPerPhase: 4, Tenure: 3, RecordTrace: true}
+		cfg.OnPhase = func(rec PhaseRecord) { hooked = append(hooked, rec) }
+		res, err := Tabu(eval, initial, cfg, rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(hooked, res.Trace) {
+			t.Errorf("hooked records differ from trace")
+		}
+	})
+}

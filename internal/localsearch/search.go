@@ -26,6 +26,11 @@ type Config struct {
 	StopOnNoImprove bool
 	// RecordTrace captures per-phase metrics for figure generation.
 	RecordTrace bool
+	// OnPhase, when non-nil, receives the same per-phase record a trace
+	// would collect, as the search runs — the hook live progress consumers
+	// (the serving layer's SSE streams) attach to. It is called from the
+	// search goroutine; slow consumers must buffer, not block.
+	OnPhase func(PhaseRecord)
 }
 
 func (c Config) withDefaults() Config {
@@ -141,8 +146,12 @@ func Search(eval *wmn.Evaluator, initial wmn.Solution, cfg Config, r *rng.Rand) 
 			}
 		}
 		res.Phases = phase
+		rec := PhaseRecord{Phase: phase, Metrics: curMetrics, Accepted: improved, Proposed: found}
 		if cfg.RecordTrace {
-			res.Trace = append(res.Trace, PhaseRecord{Phase: phase, Metrics: curMetrics, Accepted: improved, Proposed: found})
+			res.Trace = append(res.Trace, rec)
+		}
+		if cfg.OnPhase != nil {
+			cfg.OnPhase(rec)
 		}
 		if cfg.StopOnNoImprove && !improved {
 			break

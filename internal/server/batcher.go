@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"meshplace/internal/experiments"
+	"meshplace/internal/localsearch"
 	"meshplace/internal/wmn"
 )
 
@@ -47,6 +48,33 @@ type computation struct {
 	buildNs   int64
 	solveNs   int64
 	batchSize int
+
+	// hooks are the live-progress consumers of every request coalesced onto
+	// this computation (async jobs streaming SSE). Guarded by hookMu: a
+	// dedup attach can add a hook while the solve is already running.
+	hookMu sync.Mutex
+	hooks  []func(localsearch.PhaseRecord)
+}
+
+// addHook attaches one progress consumer; nil hooks are ignored.
+func (c *computation) addHook(fn func(localsearch.PhaseRecord)) {
+	if fn == nil {
+		return
+	}
+	c.hookMu.Lock()
+	c.hooks = append(c.hooks, fn)
+	c.hookMu.Unlock()
+}
+
+// emit fans one solver record out to every attached hook. Called from the
+// solving goroutine; the snapshot under hookMu keeps late attaches safe.
+func (c *computation) emit(rec localsearch.PhaseRecord) {
+	c.hookMu.Lock()
+	hooks := append(make([]func(localsearch.PhaseRecord), 0, len(c.hooks)), c.hooks...)
+	c.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(rec)
+	}
 }
 
 // batch is the pending coalescing window for one instance hash: every
@@ -88,6 +116,7 @@ type batcher struct {
 	maxWait   time.Duration
 	evalOpts  wmn.EvalOptions
 	cache     *Cache
+	store     ResultStore
 	agg       *metricsAggregator
 	pool      *experiments.Pool
 
@@ -104,6 +133,7 @@ func newBatcher(cfg Config, cache *Cache, agg *metricsAggregator) *batcher {
 		maxWait:   cfg.BatchMaxWait,
 		evalOpts:  cfg.Eval,
 		cache:     cache,
+		store:     cfg.Store,
 		agg:       agg,
 		pool:      experiments.NewPool(cfg.Workers),
 		inflight:  map[string]*computation{},
@@ -114,11 +144,14 @@ func newBatcher(cfg Config, cache *Cache, agg *metricsAggregator) *batcher {
 // enqueue admits one cache-missed request and returns the computation to
 // wait on plus the cache path taken (CacheMiss for the request that opened
 // the computation, CacheDedupWait for every request that attached to it).
-// After close it returns errBatcherClosed and the caller solves directly.
-func (b *batcher) enqueue(in *wmn.Instance, hash, key string, spec Spec, seed uint64) (*computation, string, error) {
+// onPhase, when non-nil, receives the computation's live solver progress
+// (shared with every other request coalesced onto it). After close it
+// returns errBatcherClosed and the caller solves directly.
+func (b *batcher) enqueue(in *wmn.Instance, hash, key string, spec Spec, seed uint64, onPhase func(localsearch.PhaseRecord)) (*computation, string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if c, ok := b.inflight[key]; ok {
+		c.addHook(onPhase)
 		// Identical request already pending or running: attach. A dedup
 		// attach counts toward the batch's size trigger so a burst of
 		// identical requests flushes as soon as BatchSize of them arrived
@@ -135,6 +168,7 @@ func (b *batcher) enqueue(in *wmn.Instance, hash, key string, spec Spec, seed ui
 		return nil, "", errBatcherClosed
 	}
 	c := &computation{key: key, hash: hash, spec: spec, seed: seed, done: make(chan struct{})}
+	c.addHook(onPhase)
 	b.inflight[key] = c
 	bt := b.pending[hash]
 	if bt == nil {
@@ -206,10 +240,10 @@ func (b *batcher) run(in *wmn.Instance, comps []*computation) {
 			c.err = evalErr
 		} else {
 			solveStart := time.Now()
-			c.payload, c.err = solvePayload(eval, c.hash, c.spec, c.seed)
+			c.payload, c.err = solvePayload(eval, c.hash, c.spec, c.seed, c.emit)
 			c.solveNs = time.Since(solveStart).Nanoseconds()
 			if c.err == nil {
-				b.cache.Put(c.key, c.payload)
+				publishResult(b.cache, b.store, c.key, c.payload)
 			}
 		}
 		close(c.done)
@@ -244,12 +278,14 @@ func (b *batcher) close() {
 // evaluator and marshals the canonical SolveResult payload — the bytes the
 // cache stores and every response path serves, identical for identical
 // triples whether the solve was batched, direct or replayed from cache.
-func solvePayload(eval *wmn.Evaluator, hash string, spec Spec, seed uint64) ([]byte, error) {
+// onPhase, when non-nil, observes the solver's live progress; it draws
+// from no random stream, so it cannot perturb the payload.
+func solvePayload(eval *wmn.Evaluator, hash string, spec Spec, seed uint64, onPhase func(localsearch.PhaseRecord)) ([]byte, error) {
 	sv, err := NewSolver(spec)
 	if err != nil {
 		return nil, err
 	}
-	sol, metrics, err := sv.Solve(eval, seed)
+	sol, metrics, err := sv.(TracedSolver).SolveTraced(eval, seed, onPhase)
 	if err != nil {
 		return nil, err
 	}

@@ -385,7 +385,7 @@ func TestJobEvictionWithDedupWaitersStillDelivers(t *testing.T) {
 	for i := 0; i < maxRetainedJobs+50; i++ {
 		srv.jobs.seq++
 		id := fmt.Sprintf("job-%08d", srv.jobs.seq)
-		srv.jobs.jobs[id] = &job{view: JobView{ID: id, Status: JobDone, Solver: spec}}
+		srv.jobs.jobs[id] = &job{view: JobView{ID: id, Status: JobDone, Solver: spec}, events: newProgressHub()}
 		srv.jobs.order = append(srv.jobs.order, id)
 	}
 	srv.jobs.evictLocked()

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"meshplace/internal/localsearch"
+)
+
+// ProgressEvent is one live progress point of an async solve, built from
+// the solver's PhaseRecord trace and streamed over
+// GET /v1/jobs/{id}/events as an SSE "progress" event. Seq is a per-job
+// monotonic sequence number (SSE event id); Phase is the solver's own
+// phase/step/generation counter and is strictly increasing within a job.
+type ProgressEvent struct {
+	Seq       int     `json:"seq"`
+	Phase     int     `json:"phase"`
+	Fitness   float64 `json:"fitness"`
+	GiantSize int     `json:"giantSize"`
+	Covered   int     `json:"covered"`
+	Accepted  bool    `json:"accepted"`
+}
+
+// progressBuffer bounds the per-job event history kept for late and slow
+// subscribers. A subscriber that falls further behind than the buffer
+// resumes from the oldest retained event — progress stays monotonic, the
+// dropped middle is simply skipped; the solver is never blocked.
+const progressBuffer = 256
+
+// progressHub is the per-job fan-out point between one producing solver
+// goroutine and any number of SSE subscribers. The producer appends to a
+// bounded history and pokes each subscriber's 1-slot notify channel
+// without ever blocking; subscribers pull whatever history they have not
+// seen yet at their own pace. finish publishes the terminal job view and
+// close (eviction) ends every stream; both are idempotent.
+type progressHub struct {
+	mu        sync.Mutex
+	events    []ProgressEvent // ring: the most recent progressBuffer events
+	start     int             // index in events of the oldest retained event
+	seq       int             // last assigned sequence number
+	lastPhase int             // monotonicity guard
+	done      bool
+	final     JobView // valid once done
+	subs      map[chan struct{}]struct{}
+}
+
+func newProgressHub() *progressHub {
+	return &progressHub{subs: make(map[chan struct{}]struct{})}
+}
+
+// publish appends one solver phase record. Records whose phase does not
+// advance past the last published one are dropped, so consumers observe
+// strictly increasing phases even if a future producer fans in
+// concurrently. Never blocks: subscriber notification is a non-blocking
+// send on a 1-slot channel.
+func (h *progressHub) publish(rec localsearch.PhaseRecord) {
+	h.mu.Lock()
+	if h.done || rec.Phase <= h.lastPhase {
+		h.mu.Unlock()
+		return
+	}
+	h.lastPhase = rec.Phase
+	h.seq++
+	ev := ProgressEvent{
+		Seq:       h.seq,
+		Phase:     rec.Phase,
+		Fitness:   rec.Metrics.Fitness,
+		GiantSize: rec.Metrics.GiantSize,
+		Covered:   rec.Metrics.Covered,
+		Accepted:  rec.Accepted,
+	}
+	if len(h.events) < progressBuffer {
+		h.events = append(h.events, ev)
+	} else {
+		h.events[h.start] = ev
+		h.start = (h.start + 1) % progressBuffer
+	}
+	h.notifyLocked()
+	h.mu.Unlock()
+}
+
+// finish marks the job terminal with its final view and wakes every
+// subscriber. Idempotent; later publishes are dropped.
+func (h *progressHub) finish(view JobView) {
+	h.mu.Lock()
+	if !h.done {
+		h.done = true
+		h.final = view
+		h.notifyLocked()
+	}
+	h.mu.Unlock()
+}
+
+// notifyLocked pokes every subscriber without blocking. Requires h.mu.
+func (h *progressHub) notifyLocked() {
+	for ch := range h.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already poked; the subscriber will catch up anyway
+		}
+	}
+}
+
+// subscribe registers a wake-up channel; cancel unregisters it.
+func (h *progressHub) subscribe() (ch chan struct{}, cancel func()) {
+	ch = make(chan struct{}, 1)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+}
+
+// since returns the retained events with Seq > seq, whether the job is
+// terminal, and — when it is — the final view.
+func (h *progressHub) since(seq int) (evs []ProgressEvent, done bool, final JobView) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.events)
+	for i := 0; i < n; i++ {
+		ev := h.events[(h.start+i)%n]
+		if ev.Seq > seq {
+			evs = append(evs, ev)
+		}
+	}
+	return evs, h.done, h.final
+}
+
+// handleJobEvents streams a job's progress as server-sent events: every
+// retained ProgressEvent the subscriber has not seen (as "progress"
+// events), then — once the job reaches a terminal state — its final
+// JobView as a single "done" event, after which the stream closes. A
+// consumer that reads slowly never blocks the solve: events accumulate in
+// the job's bounded history and the stream resumes from the oldest
+// retained one. Connecting after completion replays the history and the
+// terminal event immediately.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	hub, ok := s.jobs.hub(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	notify, cancel := hub.subscribe()
+	defer cancel()
+	lastSeq := 0
+	for {
+		evs, done, final := hub.since(lastSeq)
+		for _, ev := range evs {
+			if err := writeSSE(w, "progress", ev.Seq, ev); err != nil {
+				return
+			}
+			lastSeq = ev.Seq
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			// The terminal event carries the full job view (status, result,
+			// request metrics), so an SSE consumer needs no follow-up GET.
+			_ = writeSSE(w, "done", lastSeq+1, final)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE writes one server-sent event in wire format.
+func writeSSE(w http.ResponseWriter, event string, id int, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, data)
+	return err
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"meshplace/internal/experiments"
+	"meshplace/internal/localsearch"
 )
 
 // JobStatus enumerates the lifecycle of an async solve.
@@ -37,6 +38,9 @@ type JobView struct {
 type job struct {
 	mu   sync.Mutex
 	view JobView
+	// events fans the job's live solver progress to SSE subscribers; it is
+	// created with the job and receives the terminal view on finish.
+	events *progressHub
 }
 
 func (j *job) snapshot() JobView {
@@ -61,7 +65,11 @@ func (j *job) finish(result []byte, metrics RequestMetrics, err error) {
 		j.view.Result = result
 		j.view.RequestMetrics = &metrics
 	}
+	view := j.view
 	j.mu.Unlock()
+	// Publish the terminal view after releasing j.mu — the hub has its own
+	// lock and SSE subscribers read through it, never through the job.
+	j.events.finish(view)
 }
 
 // maxRetainedJobs bounds the job table: once exceeded, the oldest finished
@@ -85,18 +93,27 @@ type jobQueue struct {
 	order      []string // insertion order, for eviction
 	seq        uint64
 	pending    int
-	maxPending int // <= 0 means unbounded
+	maxPending int    // <= 0 means unbounded
+	prefix     string // "<nodeID>-" when the server has a cluster identity
 }
 
-func newJobQueue(pool *experiments.Pool, maxPending int) *jobQueue {
-	return &jobQueue{pool: pool, jobs: make(map[string]*job), maxPending: maxPending}
+func newJobQueue(pool *experiments.Pool, maxPending int, nodeID string) *jobQueue {
+	prefix := ""
+	if nodeID != "" {
+		prefix = nodeID + "-"
+	}
+	return &jobQueue{pool: pool, jobs: make(map[string]*job), maxPending: maxPending, prefix: prefix}
 }
 
 // submit registers a job and enqueues its run on the pool, returning the
 // initial (queued) view, or errBacklogFull when the pending backlog is at
 // capacity. IDs are sequential, not random, so job handles are
-// deterministic within a server lifetime.
-func (q *jobQueue) submit(spec Spec, seed uint64, run func() ([]byte, RequestMetrics, error)) (JobView, error) {
+// deterministic within a server lifetime; under a cluster identity they
+// are prefixed "<nodeID>-", which is how any replica routes
+// GET /v1/jobs/{id} back to the replica that owns the job. run receives a
+// publish hook that fans the solver's live PhaseRecords to the job's SSE
+// subscribers.
+func (q *jobQueue) submit(spec Spec, seed uint64, run func(publish func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error)) (JobView, error) {
 	q.mu.Lock()
 	if q.maxPending > 0 && q.pending >= q.maxPending {
 		q.mu.Unlock()
@@ -104,8 +121,8 @@ func (q *jobQueue) submit(spec Spec, seed uint64, run func() ([]byte, RequestMet
 	}
 	q.pending++
 	q.seq++
-	id := fmt.Sprintf("job-%08d", q.seq)
-	j := &job{view: JobView{ID: id, Status: JobQueued, Solver: spec, Seed: seed}}
+	id := fmt.Sprintf("%sjob-%08d", q.prefix, q.seq)
+	j := &job{view: JobView{ID: id, Status: JobQueued, Solver: spec, Seed: seed}, events: newProgressHub()}
 	q.jobs[id] = j
 	q.order = append(q.order, id)
 	q.evictLocked()
@@ -113,7 +130,7 @@ func (q *jobQueue) submit(spec Spec, seed uint64, run func() ([]byte, RequestMet
 
 	if !q.pool.Submit(func() {
 		j.setStatus(JobRunning)
-		out, metrics, err := run()
+		out, metrics, err := run(j.events.publish)
 		q.release()
 		j.finish(out, metrics, err)
 	}) {
@@ -148,6 +165,17 @@ func (q *jobQueue) get(id string) (JobView, bool) {
 	return j.snapshot(), true
 }
 
+// hub returns the progress hub of a job, for SSE subscription.
+func (q *jobQueue) hub(id string) (*progressHub, bool) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return j.events, true
+}
+
 // len returns the number of retained jobs.
 func (q *jobQueue) len() int {
 	q.mu.Lock()
@@ -155,8 +183,10 @@ func (q *jobQueue) len() int {
 	return len(q.jobs)
 }
 
-// evictLocked drops the oldest finished jobs beyond maxRetainedJobs.
-// Requires q.mu held.
+// evictLocked drops the oldest finished jobs beyond maxRetainedJobs. An
+// evicted job's hub is finished with its terminal view (idempotent), so
+// any SSE stream still attached delivers its terminal event and closes
+// instead of hanging on a job nobody can complete. Requires q.mu held.
 func (q *jobQueue) evictLocked() {
 	if len(q.jobs) <= maxRetainedJobs {
 		return
@@ -167,8 +197,10 @@ func (q *jobQueue) evictLocked() {
 			kept = append(kept, id)
 			continue
 		}
-		switch q.jobs[id].snapshot().Status {
+		j := q.jobs[id]
+		switch j.snapshot().Status {
 		case JobDone, JobFailed:
+			j.events.finish(j.snapshot())
 			delete(q.jobs, id)
 		default:
 			kept = append(kept, id)

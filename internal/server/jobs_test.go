@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"meshplace/internal/experiments"
+	"meshplace/internal/localsearch"
 )
 
 func waitStatus(t *testing.T, q *jobQueue, id string, want JobStatus) JobView {
@@ -32,13 +33,15 @@ func waitStatus(t *testing.T, q *jobQueue, id string, want JobStatus) JobView {
 func TestJobLifecycleSuccess(t *testing.T) {
 	pool := experiments.NewPool(2)
 	defer pool.Close()
-	q := newJobQueue(pool, 0)
+	q := newJobQueue(pool, 0, "")
 
 	spec, err := ParseSpec("adhoc")
 	if err != nil {
 		t.Fatal(err)
 	}
-	view, err := q.submit(spec, 42, func() ([]byte, RequestMetrics, error) { return []byte(`{"ok":true}`), RequestMetrics{}, nil })
+	view, err := q.submit(spec, 42, func(func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
+		return []byte(`{"ok":true}`), RequestMetrics{}, nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,10 +64,12 @@ func TestJobLifecycleSuccess(t *testing.T) {
 func TestJobLifecycleFailure(t *testing.T) {
 	pool := experiments.NewPool(1)
 	defer pool.Close()
-	q := newJobQueue(pool, 0)
+	q := newJobQueue(pool, 0, "")
 
 	spec, _ := ParseSpec("adhoc")
-	view, err := q.submit(spec, 1, func() ([]byte, RequestMetrics, error) { return nil, RequestMetrics{}, errors.New("boom") })
+	view, err := q.submit(spec, 1, func(func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
+		return nil, RequestMetrics{}, errors.New("boom")
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,13 +86,13 @@ func TestJobOrderedExecutionOnOneWorker(t *testing.T) {
 	// One worker drains jobs in submission order.
 	pool := experiments.NewPool(1)
 	defer pool.Close()
-	q := newJobQueue(pool, 0)
+	q := newJobQueue(pool, 0, "")
 	spec, _ := ParseSpec("adhoc")
 
 	var order []int
 	var ids []string
 	for i := 0; i < 5; i++ {
-		view, err := q.submit(spec, uint64(i), func() ([]byte, RequestMetrics, error) {
+		view, err := q.submit(spec, uint64(i), func(func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
 			order = append(order, i) // safe: single worker
 			return []byte("{}"), RequestMetrics{}, nil
 		})
@@ -109,9 +114,11 @@ func TestJobOrderedExecutionOnOneWorker(t *testing.T) {
 func TestJobSubmitAfterPoolClose(t *testing.T) {
 	pool := experiments.NewPool(1)
 	pool.Close()
-	q := newJobQueue(pool, 0)
+	q := newJobQueue(pool, 0, "")
 	spec, _ := ParseSpec("adhoc")
-	view, err := q.submit(spec, 1, func() ([]byte, RequestMetrics, error) { return []byte("{}"), RequestMetrics{}, nil })
+	view, err := q.submit(spec, 1, func(func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
+		return []byte("{}"), RequestMetrics{}, nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,18 +130,22 @@ func TestJobSubmitAfterPoolClose(t *testing.T) {
 func TestJobEvictionKeepsTableBounded(t *testing.T) {
 	pool := experiments.NewPool(4)
 	defer pool.Close()
-	q := newJobQueue(pool, 0)
+	q := newJobQueue(pool, 0, "")
 	spec, _ := ParseSpec("adhoc")
 
 	for i := 0; i < maxRetainedJobs+100; i++ {
-		if _, err := q.submit(spec, uint64(i), func() ([]byte, RequestMetrics, error) { return []byte("{}"), RequestMetrics{}, nil }); err != nil {
+		if _, err := q.submit(spec, uint64(i), func(func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
+			return []byte("{}"), RequestMetrics{}, nil
+		}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	pool.Wait()
 	// Eviction happens on submit (unfinished jobs are never dropped), so
 	// the next submit after the backlog drains prunes the table.
-	view, err := q.submit(spec, 0, func() ([]byte, RequestMetrics, error) { return []byte("{}"), RequestMetrics{}, nil })
+	view, err := q.submit(spec, 0, func(func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
+		return []byte("{}"), RequestMetrics{}, nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +171,7 @@ func TestJobEvictionKeepsTableBounded(t *testing.T) {
 func TestEvictLockedSparesUnfinishedJobs(t *testing.T) {
 	pool := experiments.NewPool(1)
 	defer pool.Close()
-	q := newJobQueue(pool, 0)
+	q := newJobQueue(pool, 0, "")
 	spec, _ := ParseSpec("adhoc")
 
 	// Build the table by hand (no pool runs): every 3rd job still queued,
@@ -171,7 +182,7 @@ func TestEvictLockedSparesUnfinishedJobs(t *testing.T) {
 	for i := 0; i < total; i++ {
 		q.seq++
 		id := fmt.Sprintf("job-%08d", q.seq)
-		j := &job{view: JobView{ID: id, Status: JobDone, Solver: spec, Seed: uint64(i)}}
+		j := &job{view: JobView{ID: id, Status: JobDone, Solver: spec, Seed: uint64(i)}, events: newProgressHub()}
 		switch {
 		case i%3 == 0:
 			j.view.Status = JobQueued
@@ -234,11 +245,14 @@ func TestEvictLockedSparesUnfinishedJobs(t *testing.T) {
 func TestJobBacklogLimitRejectsThenRecovers(t *testing.T) {
 	pool := experiments.NewPool(1)
 	defer pool.Close()
-	q := newJobQueue(pool, 2)
+	q := newJobQueue(pool, 2, "")
 	spec, _ := ParseSpec("adhoc")
 
 	release := make(chan struct{})
-	blocked := func() ([]byte, RequestMetrics, error) { <-release; return []byte("{}"), RequestMetrics{}, nil }
+	blocked := func(func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
+		<-release
+		return []byte("{}"), RequestMetrics{}, nil
+	}
 	first, err := q.submit(spec, 1, blocked)
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +275,9 @@ func TestJobBacklogLimitRejectsThenRecovers(t *testing.T) {
 	// so no extra wait is needed once both jobs report done).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, err := q.submit(spec, 4, func() ([]byte, RequestMetrics, error) { return []byte("{}"), RequestMetrics{}, nil }); err == nil {
+		if _, err := q.submit(spec, 4, func(func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
+			return []byte("{}"), RequestMetrics{}, nil
+		}); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -19,6 +19,12 @@ import (
 type LoadgenConfig struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs, when non-empty, overrides BaseURL with a list of targets
+	// the load is spread over round-robin — the way to drive a cluster of
+	// replicas through every front door at once. The report's Server
+	// snapshot then comes from the first target, with per-target
+	// snapshots in Targets.
+	BaseURLs []string
 	// Spec is the solver driven on every request.
 	Spec Spec
 	// Instance is the problem embedded in every request.
@@ -57,14 +63,19 @@ type LoadgenReport struct {
 	AchievedRPS float64 `json:"achievedRps"`
 	// Cache-path counts as reported by the X-Cache header.
 	Hits       int `json:"hits"`
+	StoreHits  int `json:"storeHits"`
 	DedupWaits int `json:"dedupWaits"`
 	Misses     int `json:"misses"`
 	// Client-observed end-to-end latency over all successful requests.
 	LatencyP50Ns int64 `json:"latencyP50Ns"`
 	LatencyP99Ns int64 `json:"latencyP99Ns"`
 	LatencyMaxNs int64 `json:"latencyMaxNs"`
-	// Server is the target's /v1/metrics snapshot after the run.
+	// Server is the target's /v1/metrics snapshot after the run (the
+	// first target's, under multi-target load).
 	Server MetricsSnapshot `json:"server"`
+	// Targets holds one post-run snapshot per target, in BaseURLs order;
+	// nil for single-target runs.
+	Targets []MetricsSnapshot `json:"targets,omitempty"`
 }
 
 // Render writes the report as a human-readable summary.
@@ -72,7 +83,8 @@ func (r *LoadgenReport) Render(w io.Writer) {
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	fmt.Fprintf(w, "requests %d (errors %d) in %.2fs — %.1f req/s\n",
 		r.Requests, r.Errors, float64(r.DurationNs)/1e9, r.AchievedRPS)
-	fmt.Fprintf(w, "cache paths: %d hit / %d dedup-wait / %d miss\n", r.Hits, r.DedupWaits, r.Misses)
+	fmt.Fprintf(w, "cache paths: %d hit / %d store-hit / %d dedup-wait / %d miss\n",
+		r.Hits, r.StoreHits, r.DedupWaits, r.Misses)
 	fmt.Fprintf(w, "latency: p50 %.2fms p99 %.2fms max %.2fms\n",
 		ms(r.LatencyP50Ns), ms(r.LatencyP99Ns), ms(r.LatencyMaxNs))
 	fmt.Fprintf(w, "server: %d computations for %d requests (%d batches: %d size / %d timeout / %d close)\n",
@@ -87,8 +99,12 @@ func (r *LoadgenReport) Render(w io.Writer) {
 // (instance, spec) pair with seeds cycled per LoadgenConfig.Seeds, so the
 // dedup/batch behavior under test is controlled by the caller.
 func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
-	if cfg.BaseURL == "" {
-		return nil, errors.New("loadgen: BaseURL is required")
+	targets := cfg.BaseURLs
+	if len(targets) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, errors.New("loadgen: BaseURL is required")
+		}
+		targets = []string{cfg.BaseURL}
 	}
 	if cfg.Instance == nil {
 		return nil, errors.New("loadgen: Instance is required")
@@ -150,6 +166,8 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 		switch path {
 		case CacheHit:
 			report.Hits++
+		case CacheStoreHit:
+			report.StoreHits++
 		case CacheDedupWait:
 			report.DedupWaits++
 		default:
@@ -195,8 +213,11 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 			defer wg.Done()
 			for i := range tickets {
 				body := bodies[i%cfg.Seeds]
+				// Ticket index also picks the target, so a multi-target
+				// run spreads requests round-robin across the replicas.
+				target := targets[i%len(targets)]
 				t0 := time.Now()
-				resp, err := client.Post(cfg.BaseURL+"/v1/solve", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(target+"/v1/solve", "application/json", bytes.NewReader(body))
 				if err != nil {
 					record(0, "", nil, true)
 					continue
@@ -241,11 +262,18 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 		report.LatencyMaxNs = latencies[len(latencies)-1]
 	}
 
-	snap, err := fetchMetrics(client, cfg.BaseURL)
-	if err != nil {
-		return nil, err
+	for i, target := range targets {
+		snap, err := fetchMetrics(client, target)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			report.Server = snap
+		}
+		if len(targets) > 1 {
+			report.Targets = append(report.Targets, snap)
+		}
 	}
-	report.Server = snap
 	return &report, nil
 }
 

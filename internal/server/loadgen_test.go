@@ -163,6 +163,41 @@ func TestLoadgenDurationBound(t *testing.T) {
 	}
 }
 
+// TestLoadgenRoundRobinTargets spreads a multi-target run across two
+// servers: the ticket index picks the target, so an even request count
+// splits exactly in half, and the report carries one snapshot per target.
+func TestLoadgenRoundRobinTargets(t *testing.T) {
+	srvA, tsA := startLoadTarget(t, Config{CacheSize: 8, BatchMaxWait: time.Millisecond})
+	srvB, tsB := startLoadTarget(t, Config{CacheSize: 8, BatchMaxWait: time.Millisecond})
+	report, err := RunLoadgen(LoadgenConfig{
+		BaseURLs:    []string{tsA.URL, tsB.URL},
+		Spec:        mustParseSpec(t, "adhoc"),
+		Instance:    testInstance(t),
+		Requests:    8,
+		Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests != 8 || report.Errors != 0 {
+		t.Fatalf("report = %d requests / %d errors, want 8 / 0", report.Requests, report.Errors)
+	}
+	if a, b := srvA.Metrics().Requests, srvB.Metrics().Requests; a != 4 || b != 4 {
+		t.Errorf("round-robin split %d/%d, want 4/4", a, b)
+	}
+	if len(report.Targets) != 2 {
+		t.Fatalf("report has %d target snapshots, want 2", len(report.Targets))
+	}
+	if report.Targets[0].Requests != 4 || report.Targets[1].Requests != 4 {
+		t.Errorf("target snapshots report %d/%d requests, want 4/4",
+			report.Targets[0].Requests, report.Targets[1].Requests)
+	}
+	if report.Server.Requests != report.Targets[0].Requests {
+		t.Errorf("Server snapshot (%d requests) is not the first target's (%d)",
+			report.Server.Requests, report.Targets[0].Requests)
+	}
+}
+
 // TestLoadgenValidation pins the config error paths.
 func TestLoadgenValidation(t *testing.T) {
 	in := testInstance(t)

@@ -14,6 +14,9 @@ const (
 	// CacheDedupWait attached the request to an identical in-flight
 	// computation and waited for its result.
 	CacheDedupWait = "dedup-wait"
+	// CacheStoreHit answered the request from the durable backing store
+	// (the cluster journal) after an LRU miss, promoting it into the LRU.
+	CacheStoreHit = "store-hit"
 	// CacheMiss computed the request (inside a batch when batching is on).
 	CacheMiss = "miss"
 )
@@ -85,10 +88,16 @@ type MetricsSnapshot struct {
 	Requests int64 `json:"requests"`
 	Sync     int64 `json:"sync"`
 	Async    int64 `json:"async"`
-	// Cache-path counters (hit + dedupWait + miss == requests).
+	// Cache-path counters (hit + storeHit + dedupWait + miss == requests).
 	CacheHits  int64 `json:"cacheHits"`
+	StoreHits  int64 `json:"storeHits"`
 	CacheMiss  int64 `json:"cacheMisses"`
 	DedupWaits int64 `json:"dedupWaits"`
+	// Cluster counters: requests this replica forwarded to the owning peer,
+	// and how many of those forwards failed (answered locally as fallback
+	// or surfaced as a gateway error).
+	Forwarded    int64 `json:"forwarded"`
+	ForwardFails int64 `json:"forwardFails"`
 	// Computations counts actual solver runs — the work the batcher's
 	// dedup avoids repeating (computations ≤ misses’ share of requests).
 	Computations int64 `json:"computations"`
@@ -179,6 +188,8 @@ func (a *metricsAggregator) record(m RequestMetrics) {
 	switch m.CachePath {
 	case CacheHit:
 		a.snap.CacheHits++
+	case CacheStoreHit:
+		a.snap.StoreHits++
 	case CacheDedupWait:
 		a.snap.DedupWaits++
 	default:
@@ -211,6 +222,18 @@ func (a *metricsAggregator) recordBatch(cause flushCause, computations int) {
 func (a *metricsAggregator) recordComputations(n int) {
 	a.mu.Lock()
 	a.snap.Computations += int64(n)
+	a.mu.Unlock()
+}
+
+// recordForwarded counts one request forwarded to the owning peer. The
+// forwarded request itself is recorded by the replica that executes it;
+// this replica only counts the dispatch (and its failure, if any).
+func (a *metricsAggregator) recordForwarded(failed bool) {
+	a.mu.Lock()
+	a.snap.Forwarded++
+	if failed {
+		a.snap.ForwardFails++
+	}
 	a.mu.Unlock()
 }
 

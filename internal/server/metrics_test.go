@@ -53,8 +53,8 @@ func TestMetricsEndpointGoldenShape(t *testing.T) {
 	wantTop := []string{
 		"async", "batchBuild", "batchFlushClose", "batchFlushSize",
 		"batchFlushTimeout", "batches", "cacheHits", "cacheMisses",
-		"computations", "dedupWaits", "queueWait", "requests", "solve",
-		"sync", "total",
+		"computations", "dedupWaits", "forwardFails", "forwarded",
+		"queueWait", "requests", "solve", "storeHits", "sync", "total",
 	}
 	sort.Strings(wantTop)
 	var gotTop []string

@@ -26,7 +26,21 @@ type Solver interface {
 	Solve(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error)
 }
 
-type solveFunc func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error)
+// TracedSolver is implemented by solvers that can report live progress.
+// Every solver NewSolver returns implements it. The hook receives the
+// method's own trace records as the search runs (phase for the
+// neighborhood methods, generation/barrier for the GA; the ad hoc
+// constructors have no phases and never call it); it draws from no random
+// stream, so a traced solve returns results byte-identical to Solve with
+// the same triple. onPhase may be nil, making SolveTraced identical to
+// Solve. The hook is called from the solving goroutine: slow consumers
+// must buffer, not block.
+type TracedSolver interface {
+	Solver
+	SolveTraced(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error)
+}
+
+type solveFunc func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error)
 
 type solver struct {
 	spec Spec
@@ -36,7 +50,11 @@ type solver struct {
 func (s solver) Spec() Spec { return s.spec }
 
 func (s solver) Solve(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
-	return s.run(eval, seed)
+	return s.run(eval, seed, nil)
+}
+
+func (s solver) SolveTraced(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
+	return s.run(eval, seed, onPhase)
 }
 
 // paramDef declares one parameter of a registered solver kind: its key,
@@ -207,7 +225,9 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+			// Ad hoc placement is a single constructive pass with no phases;
+			// the progress hook has nothing to report and is ignored.
+			return func(eval *wmn.Evaluator, seed uint64, _ func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
 				sol, err := p.Place(eval.Instance(), rng.DeriveString(seed, "solve/adhoc"))
 				if err != nil {
 					return wmn.Solution{}, wmn.Metrics{}, err
@@ -228,7 +248,7 @@ func init() {
 			{key: "neighbors", def: "16", doc: "neighbors examined per phase", check: intParam(1)},
 		},
 		build: func(spec Spec) (solveFunc, error) {
-			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+			return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
 					return wmn.Solution{}, wmn.Metrics{}, err
@@ -237,6 +257,7 @@ func init() {
 					Movement:          movementFor(spec.Param("movement")),
 					MaxPhases:         spec.specInt("phases"),
 					NeighborsPerPhase: spec.specInt("neighbors"),
+					OnPhase:           onPhase,
 				}, rng.DeriveString(seed, "solve/search"))
 				if err != nil {
 					return wmn.Solution{}, wmn.Metrics{}, err
@@ -256,7 +277,7 @@ func init() {
 			{key: "noimprove", def: "256", doc: "consecutive rejections before stopping", check: intParam(1)},
 		},
 		build: func(spec Spec) (solveFunc, error) {
-			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+			return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
 					return wmn.Solution{}, wmn.Metrics{}, err
@@ -265,6 +286,7 @@ func init() {
 					Movement:     movementFor(spec.Param("movement")),
 					MaxSteps:     spec.specInt("steps"),
 					MaxNoImprove: spec.specInt("noimprove"),
+					OnPhase:      onPhase,
 				}, rng.DeriveString(seed, "solve/hillclimb"))
 				if err != nil {
 					return wmn.Solution{}, wmn.Metrics{}, err
@@ -297,13 +319,14 @@ func init() {
 			if err := probe.Validate(); err != nil {
 				return nil, err
 			}
-			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+			return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
 					return wmn.Solution{}, wmn.Metrics{}, err
 				}
 				run := cfg
 				run.Movement = movementFor(spec.Param("movement"))
+				run.OnPhase = onPhase
 				res, err := localsearch.Anneal(eval, initial, run, rng.DeriveString(seed, "solve/anneal"))
 				if err != nil {
 					return wmn.Solution{}, wmn.Metrics{}, err
@@ -324,7 +347,7 @@ func init() {
 			{key: "tenure", def: "8", doc: "phases a changed router stays tabu", check: intParam(1)},
 		},
 		build: func(spec Spec) (solveFunc, error) {
-			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+			return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
 					return wmn.Solution{}, wmn.Metrics{}, err
@@ -334,6 +357,7 @@ func init() {
 					MaxPhases:         spec.specInt("phases"),
 					NeighborsPerPhase: spec.specInt("neighbors"),
 					Tenure:            spec.specInt("tenure"),
+					OnPhase:           onPhase,
 				}, rng.DeriveString(seed, "solve/tabu"))
 				if err != nil {
 					return wmn.Solution{}, wmn.Metrics{}, err
@@ -395,16 +419,31 @@ func init() {
 				if err := icfg.Validate(); err != nil {
 					return nil, err
 				}
-				return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
-					res, err := ga.RunIslands(eval, init, icfg, seed)
+				return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
+					run := icfg
+					if onPhase != nil {
+						// Progress for the island model is the migration
+						// barrier: it runs on the coordinating goroutine with
+						// monotonic generations, matching the hook contract.
+						run.OnBarrier = func(gen int, best wmn.Metrics) {
+							onPhase(localsearch.PhaseRecord{Phase: gen, Metrics: best, Accepted: true, Proposed: true})
+						}
+					}
+					res, err := ga.RunIslands(eval, init, run, seed)
 					if err != nil {
 						return wmn.Solution{}, wmn.Metrics{}, err
 					}
 					return res.Best, res.BestMetrics, nil
 				}, nil
 			}
-			return func(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
-				res, err := ga.Run(eval, init, cfg, rng.DeriveString(seed, "solve/ga"))
+			return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
+				run := cfg
+				if onPhase != nil {
+					run.OnGeneration = func(gen int, best wmn.Metrics) {
+						onPhase(localsearch.PhaseRecord{Phase: gen, Metrics: best, Accepted: true, Proposed: true})
+					}
+				}
+				res, err := ga.Run(eval, init, run, rng.DeriveString(seed, "solve/ga"))
 				if err != nil {
 					return wmn.Solution{}, wmn.Metrics{}, err
 				}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"meshplace/internal/experiments"
+	"meshplace/internal/localsearch"
 	"meshplace/internal/wmn"
 )
 
@@ -48,6 +49,16 @@ type Config struct {
 	// Eval configures the objective used for every solve. The zero value
 	// is the paper's model.
 	Eval wmn.EvalOptions
+	// Store is an optional durable backing store under the LRU (the
+	// cluster subsystem plugs its on-disk journal in here): lookups fall
+	// through to it on LRU miss and computed payloads are published to it.
+	// nil means in-memory caching only.
+	Store ResultStore
+	// NodeID is this replica's cluster identity; when non-empty, job IDs
+	// are prefixed "<NodeID>-" so any replica can route a job handle back
+	// to the replica that owns it. Empty (the default) keeps the
+	// single-node "job-%08d" format.
+	NodeID string
 }
 
 // DefaultConfig returns the serving defaults used by `wmnplace serve`.
@@ -99,7 +110,7 @@ func New(cfg Config) *Server {
 		pool:    experiments.NewPool(cfg.Workers),
 		metrics: &metricsAggregator{},
 	}
-	s.jobs = newJobQueue(s.pool, cfg.MaxPendingJobs)
+	s.jobs = newJobQueue(s.pool, cfg.MaxPendingJobs, cfg.NodeID)
 	if !cfg.DisableBatching {
 		s.batch = newBatcher(cfg, s.cache, s.metrics)
 	}
@@ -111,6 +122,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux = mux
 	return s
 }
@@ -134,6 +146,12 @@ func (s *Server) Cache() *Cache { return s.cache }
 // Metrics returns a consistent snapshot of the request telemetry — the
 // same payload GET /v1/metrics serves.
 func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot() }
+
+// RecordForwarded counts one request this replica dispatched to the
+// owning peer (and whether the dispatch failed), for the cluster front
+// door — forwarded requests never reach this replica's solve path, so
+// nothing else records them here.
+func (s *Server) RecordForwarded(failed bool) { s.metrics.recordForwarded(failed) }
 
 // SolveRequest is the body of POST /v1/solve.
 type SolveRequest struct {
@@ -265,8 +283,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if async {
-		job, err := s.jobs.submit(req.Solver, req.Seed, func() ([]byte, RequestMetrics, error) {
-			return s.solveInstrumented(in, req.Solver, req.Seed, "async", admitted)
+		job, err := s.jobs.submit(req.Solver, req.Seed, func(publish func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
+			return s.solveInstrumented(in, req.Solver, req.Seed, "async", admitted, publish)
 		})
 		if err != nil {
 			writeError(w, http.StatusTooManyRequests, "%v", err)
@@ -277,7 +295,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	payload, m, err := s.solveInstrumented(in, req.Solver, req.Seed, "sync", admitted)
+	payload, m, err := s.solveInstrumented(in, req.Solver, req.Seed, "sync", admitted, nil)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "solve: %v", err)
 		return
@@ -294,6 +312,14 @@ const maxRequestBytes = 64 << 20
 type oversizedError struct{ msg string }
 
 func (e *oversizedError) Error() string { return e.msg }
+
+// ResolveInstance produces the validated instance a request addresses —
+// exported for the cluster front door, which must resolve (and hash) the
+// instance to pick the owning replica before deciding whether to solve
+// locally or forward.
+func (s *Server) ResolveInstance(req *SolveRequest) (*wmn.Instance, error) {
+	return s.resolveInstance(req)
+}
 
 // resolveInstance produces the validated instance a request addresses.
 func (s *Server) resolveInstance(req *SolveRequest) (*wmn.Instance, error) {
@@ -335,16 +361,18 @@ func nonNegNs(d time.Duration) int64 {
 }
 
 // solveInstrumented answers one (instance, spec, seed) triple and reports
-// how: from the cache (CacheHit), through the batcher (CacheMiss for the
-// request that opened the computation, CacheDedupWait for requests that
-// attached to it), or — when batching is disabled or shutting down — on
-// the direct inline path. The returned payload bytes are the canonical
-// SolveResult document, identical for identical triples on every path;
-// the RequestMetrics describe this request's trip and are folded into the
+// how: from the cache (CacheHit), from the durable backing store
+// (CacheStoreHit), through the batcher (CacheMiss for the request that
+// opened the computation, CacheDedupWait for requests that attached to
+// it), or — when batching is disabled or shutting down — on the direct
+// inline path. The returned payload bytes are the canonical SolveResult
+// document, identical for identical triples on every path; the
+// RequestMetrics describe this request's trip and are folded into the
 // server aggregate behind GET /v1/metrics. admitted is when the request
 // entered the server, so async jobs account their pool queueing as queue
-// wait.
-func (s *Server) solveInstrumented(in *wmn.Instance, spec Spec, seed uint64, mode string, admitted time.Time) ([]byte, RequestMetrics, error) {
+// wait. onPhase, when non-nil, observes the solver's live progress (it
+// sees nothing on the hit paths — there is no solver run to observe).
+func (s *Server) solveInstrumented(in *wmn.Instance, spec Spec, seed uint64, mode string, admitted time.Time, onPhase func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
 	m := RequestMetrics{Mode: mode}
 	hash := HashInstance(in)
 	key := cacheKey(hash, spec, seed)
@@ -355,9 +383,16 @@ func (s *Server) solveInstrumented(in *wmn.Instance, spec Spec, seed uint64, mod
 		s.metrics.record(m)
 		return b, m, nil
 	}
+	if b, ok := lookupStored(s.cfg.Store, s.cache, key); ok {
+		m.CachePath = CacheStoreHit
+		m.QueueWaitNs = nonNegNs(time.Since(admitted))
+		m.TotalNs = m.QueueWaitNs
+		s.metrics.record(m)
+		return b, m, nil
+	}
 
 	if s.batch != nil {
-		comp, path, err := s.batch.enqueue(in, hash, key, spec, seed)
+		comp, path, err := s.batch.enqueue(in, hash, key, spec, seed, onPhase)
 		if err == nil {
 			<-comp.done
 			if comp.err != nil {
@@ -383,12 +418,12 @@ func (s *Server) solveInstrumented(in *wmn.Instance, spec Spec, seed uint64, mod
 	}
 	m.BatchBuildNs = time.Since(buildStart).Nanoseconds()
 	solveStart := time.Now()
-	payload, err := solvePayload(eval, hash, spec, seed)
+	payload, err := solvePayload(eval, hash, spec, seed, onPhase)
 	if err != nil {
 		return nil, m, err
 	}
 	m.SolveNs = time.Since(solveStart).Nanoseconds()
-	s.cache.Put(key, payload)
+	publishResult(s.cache, s.cfg.Store, key, payload)
 	m.CachePath = CacheMiss
 	m.BatchSize = 1
 	m.TotalNs = nonNegNs(time.Since(admitted))

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"meshplace/internal/localsearch"
 	"meshplace/internal/wmn"
 )
 
@@ -422,7 +423,7 @@ func TestAsyncBacklogLimitReturns429(t *testing.T) {
 
 	release := make(chan struct{})
 	spec, _ := ParseSpec("adhoc")
-	if _, err := srv.jobs.submit(spec, 99, func() ([]byte, RequestMetrics, error) {
+	if _, err := srv.jobs.submit(spec, 99, func(func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
 		<-release
 		return []byte("{}"), RequestMetrics{}, nil
 	}); err != nil {

@@ -1,0 +1,47 @@
+package server
+
+// ResultStore is a durable backing store for computed solve payloads,
+// layered under the in-memory LRU cache: lookups that miss the LRU fall
+// through to the store (a hit repopulates the LRU and is reported as
+// CacheStoreHit), and every computed payload is published to both. Because
+// payloads are content-addressed by the (instance hash, spec, seed) cache
+// key and solvers are deterministic in that triple, a store shared by — or
+// replayed into — another replica serves byte-identical results without
+// recomputation. The cluster subsystem's on-disk journal is the canonical
+// implementation.
+//
+// Implementations must be safe for concurrent use. Put has no error
+// return by design: durability is best-effort from the serving layer's
+// point of view — a failing store must not fail the solve that produced
+// the payload (implementations record their own write-error telemetry).
+type ResultStore interface {
+	// Get returns the payload stored under key. Callers must not modify
+	// the returned bytes.
+	Get(key string) ([]byte, bool)
+	// Put stores the payload under key. The store keeps a reference to
+	// payload; callers must not modify it afterwards.
+	Put(key string, payload []byte)
+}
+
+// lookupStored consults the backing store after an LRU miss, promoting a
+// hit into the LRU so subsequent requests pay the in-memory price.
+func lookupStored(store ResultStore, cache *Cache, key string) ([]byte, bool) {
+	if store == nil {
+		return nil, false
+	}
+	b, ok := store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	cache.Put(key, b)
+	return b, true
+}
+
+// publishResult lands one computed payload in the LRU and, when a backing
+// store is configured, durably in the store.
+func publishResult(cache *Cache, store ResultStore, key string, payload []byte) {
+	cache.Put(key, payload)
+	if store != nil {
+		store.Put(key, payload)
+	}
+}
