@@ -5,9 +5,9 @@ GO ?= go
 
 # Per-PR benchmark stream: override for a scratch run, e.g.
 #   make bench BENCH_OUT=BENCH_CI.json
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 # Committed baseline the regression check diffs against.
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR7.json
 
 .PHONY: ci vet build test race bench benchdiff fmt-check fuzz-smoke
 
@@ -34,9 +34,11 @@ race:
 # internal/experiments, the corpus/suite benchmarks in internal/scenarios,
 # BenchmarkIncrementalVsFull in internal/wmn — the per-neighbor
 # incremental-vs-full evaluation comparison at paper and 10× scale —
-# BenchmarkIslandScaling in internal/ga, the islands × workers grid, and
+# BenchmarkIslandScaling in internal/ga, the islands × workers grid,
 # BenchmarkServeBatched in internal/server, the batched-vs-unbatched burst
-# comparison of the serving layer). The test2json event stream is written
+# comparison of the serving layer, and BenchmarkPortfolio there too, the
+# portfolio race against each member standalone at one shared evaluation
+# budget). The test2json event stream is written
 # to $(BENCH_OUT) so the perf trajectory is recorded per PR and can be
 # diffed across commits with `make benchdiff`.
 bench:

@@ -9,6 +9,7 @@
 //	wmnplace place      [flags]   run one ad hoc placement method
 //	wmnplace search     [flags]   run the neighborhood search (swap/random)
 //	wmnplace ga         [flags]   run the GA from an ad hoc initializer (-islands for the island model)
+//	wmnplace solve      [flags]   run any solver spec, incl. portfolio races, with an optional -deadline
 //	wmnplace analyze    [flags]   map, per-router report and robustness sweep
 //	wmnplace experiment [flags] <table1|table2|table3|fig1|fig2|fig3|fig4|all>
 //	wmnplace suite      [flags]   sweep solvers over the scenario corpus (see internal/scenarios)
@@ -32,7 +33,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing command; want instance, place, search, ga, analyze, experiment, suite, serve or loadgen")
+		return fmt.Errorf("missing command; want instance, place, search, ga, solve, analyze, experiment, suite, serve or loadgen")
 	}
 	switch args[0] {
 	case "instance":
@@ -43,6 +44,8 @@ func run(args []string) error {
 		return runSearch(args[1:])
 	case "ga":
 		return runGA(args[1:])
+	case "solve":
+		return runSolve(args[1:])
 	case "analyze":
 		return runAnalyze(args[1:])
 	case "experiment":
@@ -54,9 +57,9 @@ func run(args []string) error {
 	case "loadgen":
 		return runLoadgen(args[1:])
 	case "-h", "--help", "help":
-		fmt.Println("commands: instance, place, search, ga, analyze, experiment, suite, serve, loadgen")
+		fmt.Println("commands: instance, place, search, ga, solve, analyze, experiment, suite, serve, loadgen")
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q; want instance, place, search, ga, analyze, experiment, suite, serve or loadgen", args[0])
+		return fmt.Errorf("unknown command %q; want instance, place, search, ga, solve, analyze, experiment, suite, serve or loadgen", args[0])
 	}
 }

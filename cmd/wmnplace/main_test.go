@@ -86,6 +86,30 @@ func TestGACommand(t *testing.T) {
 	}
 }
 
+func TestSolveCommand(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sol.json")
+	args := append([]string{
+		"solve", "-spec", "portfolio:members=search:phases=2;neighbors=2|anneal:steps=16|adhoc,budget=64,slices=2",
+		"-anytime", "-out", out,
+	}, small()...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("solution not written: %v", err)
+	}
+	// A deadline-bounded run returns the incumbent, never an error.
+	args = append([]string{
+		"solve", "-spec", "ga:generations=100000,pop=16", "-deadline", "10ms",
+	}, small()...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"solve", "-spec", "warp:speed=9"}); err == nil {
+		t.Error("unknown solver spec accepted")
+	}
+}
+
 func TestExperimentQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a quick study (~2s)")

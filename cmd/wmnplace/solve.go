@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	"meshplace"
+)
+
+// runSolve runs any registry spec — including portfolio races — on one
+// instance, optionally bounded by a wall-clock deadline. With a deadline
+// the run stops at its next deterministic phase boundary and prints the
+// incumbent best; it never errors out of a timeout.
+func runSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	var inst instanceFlags
+	inst.register(fs)
+	specText := fs.String("spec", "portfolio", `solver spec, e.g. "search:phases=61", "ga:pop=64" or "portfolio:members=search|anneal|ga,budget=20000"`)
+	deadline := fs.Duration("deadline", 0, "wall-clock budget (e.g. 500ms, 2s); 0 runs to completion")
+	anytime := fs.Bool("anytime", false, "print the anytime curve (best fitness by evaluation count)")
+	solOut := fs.String("out", "", "write the best solution as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := meshplace.ParseSolverSpec(*specText)
+	if err != nil {
+		return err
+	}
+	in, err := inst.instance()
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	rep, err := meshplace.SolveContext(ctx, spec, in, inst.seed)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *anytime {
+		for _, pt := range rep.Anytime {
+			fmt.Printf("evals %7d: fitness=%.4f\n", pt.Evals, pt.BestFitness)
+		}
+	}
+	if p := rep.Portfolio; p != nil {
+		for i, m := range p.Members {
+			mark := " "
+			if i == p.Winner {
+				mark = "*"
+			}
+			status := "stopped"
+			if m.Completed {
+				status = "completed"
+			}
+			fmt.Printf("%s member %d (%s): %d evaluations, fitness=%.4f, %s\n",
+				mark, i, m.Spec, m.Evaluations, m.BestFitness, status)
+		}
+		fmt.Printf("race: %d/%d slices, %d of %d budgeted evaluations\n",
+			p.SlicesRun, p.Slices, p.Evaluations, p.Budget)
+	}
+	state := "completed"
+	if rep.Truncated {
+		state = fmt.Sprintf("deadline %v hit, incumbent returned", *deadline)
+	}
+	fmt.Printf("%s (%d evaluations in %v, %s): %s\n",
+		spec, rep.Evaluations, elapsed.Round(time.Millisecond), state, rep.Metrics)
+	return writeSolution(*solOut, rep.Solution)
+}

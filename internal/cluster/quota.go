@@ -25,8 +25,13 @@ type QuotaConfig struct {
 	Burst int
 }
 
-// Enabled reports whether the config imposes any quota.
-func (c QuotaConfig) Enabled() bool { return c.RatePerSec > 0 }
+// Enabled reports whether the config imposes any quota. Non-finite rates
+// never enable: NaN poisons every bucket comparison and +Inf would admit
+// everything while still charging the bookkeeping, so both count as
+// "no quota configured" for configs built without ParseQuota's validation.
+func (c QuotaConfig) Enabled() bool {
+	return c.RatePerSec > 0 && !math.IsInf(c.RatePerSec, 0) && !math.IsNaN(c.RatePerSec)
+}
 
 // ParseQuota parses the -quota flag syntax "RATE[:BURST]", e.g. "10" (10
 // requests/s, burst 10) or "0.5:3" (one request per 2s, burst 3). The
@@ -37,8 +42,11 @@ func ParseQuota(s string) (QuotaConfig, error) {
 	}
 	rateStr, burstStr, hasBurst := strings.Cut(s, ":")
 	rate, err := strconv.ParseFloat(rateStr, 64)
-	if err != nil || rate <= 0 {
-		return QuotaConfig{}, fmt.Errorf("cluster: quota rate %q: want a positive number", rateStr)
+	// NaN slips through a plain <= 0 check (every NaN comparison is false)
+	// and Inf parses fine (including overflow spellings like "1e309"), so
+	// finiteness is checked explicitly.
+	if err != nil || math.IsNaN(rate) || math.IsInf(rate, 0) || rate <= 0 {
+		return QuotaConfig{}, fmt.Errorf("cluster: quota rate %q: want a positive finite number", rateStr)
 	}
 	cfg := QuotaConfig{RatePerSec: rate}
 	if hasBurst {
@@ -53,14 +61,25 @@ func ParseQuota(s string) (QuotaConfig, error) {
 
 // quotaSet holds one token bucket per API key. Buckets are created on
 // first use and refilled lazily at Allow time — no background goroutine.
+// Buckets that have refilled to full burst are indistinguishable from
+// fresh ones, so an amortized sweep in allow evicts them; without it a
+// churn of distinct keys (an unauthenticated caller minting random
+// X-API-Key values) would grow the map without bound.
 type quotaSet struct {
 	cfg   QuotaConfig
 	burst float64
 	now   func() time.Time // injectable for tests
 
-	mu      sync.Mutex
-	buckets map[string]*bucket
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastSweep time.Time
 }
+
+// idleEvictAfter is how often allow sweeps the bucket map for evictable
+// (fully refilled) buckets. Eviction is invisible to clients — a full
+// bucket and a fresh bucket admit identically — so the interval only
+// bounds how long garbage keys linger.
+const idleEvictAfter = time.Minute
 
 type bucket struct {
 	tokens float64
@@ -78,7 +97,7 @@ func newQuotaSet(cfg QuotaConfig, now func() time.Time) *quotaSet {
 			burst = 1
 		}
 	}
-	return &quotaSet{cfg: cfg, burst: burst, now: now, buckets: map[string]*bucket{}}
+	return &quotaSet{cfg: cfg, burst: burst, now: now, buckets: map[string]*bucket{}, lastSweep: now()}
 }
 
 // allow takes one token from key's bucket. When the bucket is empty it
@@ -88,6 +107,20 @@ func (q *quotaSet) allow(key string) (ok bool, retryAfter time.Duration) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.now()
+	if now.Sub(q.lastSweep) >= idleEvictAfter {
+		q.lastSweep = now
+		for k, b := range q.buckets {
+			// A bucket refilled to full burst admits exactly like a fresh
+			// one, so dropping it cannot change any future decision. The
+			// current key is kept: it is about to be charged below.
+			if k == key {
+				continue
+			}
+			if refilled := b.tokens + now.Sub(b.last).Seconds()*q.cfg.RatePerSec; refilled >= q.burst {
+				delete(q.buckets, k)
+			}
+		}
+	}
 	b := q.buckets[key]
 	if b == nil {
 		b = &bucket{tokens: q.burst, last: now}

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+	"math"
 	"testing"
 	"time"
 )
@@ -18,6 +20,14 @@ func TestParseQuota(t *testing.T) {
 		{"abc", QuotaConfig{}, true},
 		{"10:0", QuotaConfig{}, true},
 		{"10:x", QuotaConfig{}, true},
+		// Non-finite rates: NaN slips through a plain <= 0 comparison,
+		// "Inf" parses as +Inf, and "1e309" overflows to +Inf — all three
+		// must be rejected, never silently enabled.
+		{"Inf", QuotaConfig{}, true},
+		{"NaN", QuotaConfig{}, true},
+		{"1e309", QuotaConfig{}, true},
+		{"-Inf", QuotaConfig{}, true},
+		{"Inf:3", QuotaConfig{}, true},
 	}
 	for _, c := range cases {
 		got, err := ParseQuota(c.in)
@@ -79,6 +89,93 @@ func TestQuotaBucketBehavior(t *testing.T) {
 	}
 	if admitted != 4 {
 		t.Errorf("after long idle %d admitted, want burst of 4", admitted)
+	}
+}
+
+// TestQuotaEnabledRejectsNonFinite guards configs built without
+// ParseQuota: a hand-assembled Inf or NaN rate must read as disabled, not
+// as an unbounded-yet-bookkept quota.
+func TestQuotaEnabledRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		rate float64
+		want bool
+	}{
+		{10, true},
+		{0.5, true},
+		{0, false},
+		{-1, false},
+		{math.Inf(1), false},
+		{math.Inf(-1), false},
+		{math.NaN(), false},
+	}
+	for _, c := range cases {
+		if got := (QuotaConfig{RatePerSec: c.rate}).Enabled(); got != c.want {
+			t.Errorf("Enabled() with rate %v = %v, want %v", c.rate, got, c.want)
+		}
+	}
+}
+
+// TestQuotaEvictsChurnedKeys pins the DoS fix: a churn of distinct keys
+// (each seen once) must not accumulate buckets forever. Once the sweep
+// interval passes, fully refilled buckets are evicted, and eviction is
+// invisible — a key whose bucket was dropped admits exactly like a fresh
+// one, while a still-draining bucket survives the sweep.
+func TestQuotaEvictsChurnedKeys(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	q := newQuotaSet(QuotaConfig{RatePerSec: 2, Burst: 4}, clock)
+
+	// Exhaust one key so its bucket is mid-drain when the sweep runs.
+	for i := 0; i < 4; i++ {
+		q.allow("hot")
+	}
+
+	for i := 0; i < 1000; i++ {
+		now = now.Add(time.Millisecond)
+		if ok, _ := q.allow(fmt.Sprintf("churn-%d", i)); !ok {
+			t.Fatalf("fresh key %d rejected", i)
+		}
+	}
+
+	// Cross the sweep interval: the next allow evicts every bucket that
+	// has refilled to full burst (all the churned keys after 2+ minutes at
+	// 2 tokens/s), keeping only the current key's bucket.
+	now = now.Add(2 * idleEvictAfter)
+	q.allow("trigger")
+	q.mu.Lock()
+	remaining := len(q.buckets)
+	q.mu.Unlock()
+	if remaining != 1 {
+		t.Errorf("%d buckets after sweep, want 1 (the triggering key)", remaining)
+	}
+
+	// Eviction is invisible: an evicted key starts from a full burst,
+	// exactly as if it had idled with its bucket kept.
+	for i := 0; i < 4; i++ {
+		if ok, _ := q.allow("churn-0"); !ok {
+			t.Fatalf("evicted key rejected at request %d of a fresh burst", i+1)
+		}
+	}
+	if ok, _ := q.allow("churn-0"); ok {
+		t.Error("evicted key admitted over burst")
+	}
+
+	// A mid-drain bucket survives the sweep: drain a key, advance past the
+	// interval but not long enough to refill, and its debt must persist.
+	q2 := newQuotaSet(QuotaConfig{RatePerSec: 0.01, Burst: 4}, clock)
+	for i := 0; i < 4; i++ {
+		q2.allow("debtor")
+	}
+	now = now.Add(idleEvictAfter + time.Second)
+	q2.allow("trigger") // sweep; debtor refilled only ~0.6 tokens
+	q2.mu.Lock()
+	_, kept := q2.buckets["debtor"]
+	q2.mu.Unlock()
+	if !kept {
+		t.Error("mid-drain bucket evicted; its debt was forgiven")
+	}
+	if ok, _ := q2.allow("debtor"); ok {
+		t.Error("drained key admitted before refill")
 	}
 }
 

@@ -143,6 +143,17 @@ type Config struct {
 	// It does not touch any RNG stream, so wiring it never perturbs the
 	// run's results.
 	OnGeneration func(gen int, best wmn.Metrics)
+	// Stop, when non-nil, is consulted after every generation with the
+	// run's cumulative evaluation count and best metrics so far. Returning
+	// true ends the run at that generation: the incumbent best is returned
+	// as a normal result, never an error. Deadline-bounded serving and the
+	// portfolio meta-solver drive cancellation and evaluation budgets
+	// through this hook; it draws from no random stream, so a run that is
+	// never stopped is byte-identical to one without the hook. Under
+	// RunIslands the hook is not consulted per island generation — the
+	// coordinator clears it and consults it at migration barriers instead,
+	// with evaluations summed across islands.
+	Stop func(evals int, best wmn.Metrics) bool
 }
 
 // DefaultConfig returns the experiment configuration described in
@@ -286,7 +297,10 @@ type run struct {
 	r         *rng.Rand
 	pop, next []individual
 	bestGiant int
-	res       Result
+	// stopped latches Config.Stop returning true: further evolve calls are
+	// no-ops and the incumbent res stands.
+	stopped bool
+	res     Result
 }
 
 // newRun draws and scores the initial population. cfg must already be
@@ -335,6 +349,9 @@ func newRun(eval *wmn.Evaluator, init Initializer, cfg Config, r *rng.Rand) (*ru
 // at cfg.Generations — the run's final generation, not the chunk's — so
 // chunked evolution records exactly what one evolve(1, Generations) would.
 func (ru *run) evolve(from, to int) {
+	if ru.stopped {
+		return
+	}
 	cfg, r := ru.cfg, ru.r
 	for gen := from; gen <= to; gen++ {
 		// Elites survive unchanged.
@@ -371,6 +388,10 @@ func (ru *run) evolve(from, to int) {
 			if cfg.OnGeneration != nil {
 				cfg.OnGeneration(gen, ru.res.BestMetrics)
 			}
+		}
+		if cfg.Stop != nil && cfg.Stop(ru.res.Evaluations, ru.res.BestMetrics) {
+			ru.stopped = true
+			return
 		}
 	}
 }

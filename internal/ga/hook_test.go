@@ -55,7 +55,7 @@ func TestOnBarrierIsMonotonic(t *testing.T) {
 	_, eval := testSetup(t)
 	init := hotspotInit(t)
 
-	cfg := IslandConfig{Config: quickCfg(), Islands: 3, MigrateEvery: 10, Migrants: 2}
+	cfg := IslandConfig{Config: quickCfg(), Islands: 3, MigrateEvery: 10, Migrants: 2, Topology: RingTopology}
 	var gens []int
 	var fits []float64
 	cfg.OnBarrier = func(gen int, best wmn.Metrics) {

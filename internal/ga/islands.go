@@ -102,7 +102,11 @@ type IslandConfig struct {
 	// config in this package, the zero value means "default", not
 	// "none"); isolate islands via MigrateEvery instead.
 	Migrants int
-	// Topology is the migration graph. Default RingTopology.
+	// Topology is the migration graph. Unlike the other fields, the zero
+	// value is NOT a default: an unset topology fails Validate rather than
+	// silently picking one, because a config that migrates along a graph
+	// the caller never chose misroutes migrants without any other symptom.
+	// DefaultIslandConfig selects RingTopology explicitly.
 	Topology Topology
 	// FanOut carries island evolution across workers; nil evolves the
 	// islands sequentially. Inject experiments.ForEachIndexed (bound to a
@@ -123,7 +127,9 @@ type IslandConfig struct {
 // DefaultIslandConfig returns the island-model defaults: four islands on a
 // ring, two elite emigrants every ten generations, over DefaultConfig
 // islands.
-func DefaultIslandConfig() IslandConfig { return IslandConfig{}.withDefaults() }
+func DefaultIslandConfig() IslandConfig {
+	return IslandConfig{Topology: RingTopology}.withDefaults()
+}
 
 func (c IslandConfig) withDefaults() IslandConfig {
 	c.Config = c.Config.withDefaults()
@@ -135,9 +141,6 @@ func (c IslandConfig) withDefaults() IslandConfig {
 	}
 	if c.Migrants == 0 {
 		c.Migrants = 2
-	}
-	if c.Topology == 0 {
-		c.Topology = RingTopology
 	}
 	return c
 }
@@ -170,6 +173,8 @@ func (c IslandConfig) Validate() error {
 	}
 	switch c.Topology {
 	case RingTopology, CompleteTopology:
+	case 0:
+		return errors.New("ga: island config has no topology (the zero value is invalid; set RingTopology or CompleteTopology, or start from DefaultIslandConfig)")
 	default:
 		return fmt.Errorf("ga: unknown topology %v", c.Topology)
 	}
@@ -240,6 +245,13 @@ func RunIslands(eval *wmn.Evaluator, init Initializer, cfg IslandConfig, seed ui
 	if fan == nil {
 		fan = sequentialFanOut
 	}
+	// The Stop hook is a whole-run budget/cancellation gate: letting every
+	// island consult it concurrently with island-local evaluation counts
+	// would both race and misreport, so the coordinator takes it over and
+	// consults it between chunks with evaluations summed across islands —
+	// the same barrier OnBarrier reports at.
+	stop := cfg.Config.Stop
+	cfg.Config.Stop = nil
 
 	// Draw and score every island's initial population; this is the first
 	// concurrent phase, so it fans out too.
@@ -271,17 +283,26 @@ func RunIslands(eval *wmn.Evaluator, init Initializer, cfg IslandConfig, seed ui
 		if err != nil {
 			return IslandResult{}, err
 		}
-		if end < cfg.Generations {
-			res.Migrations += migrate(runs, cfg)
-		}
-		if cfg.OnBarrier != nil {
+		stopNow := false
+		if stop != nil || cfg.OnBarrier != nil {
+			evals := 0
 			best := runs[0].res.BestMetrics
-			for _, ru := range runs[1:] {
+			for _, ru := range runs {
+				evals += ru.res.Evaluations
 				if ru.res.BestMetrics.Fitness > best.Fitness {
 					best = ru.res.BestMetrics
 				}
 			}
-			cfg.OnBarrier(end, best)
+			stopNow = stop != nil && stop(evals, best)
+			if cfg.OnBarrier != nil {
+				cfg.OnBarrier(end, best)
+			}
+		}
+		if stopNow {
+			break
+		}
+		if end < cfg.Generations {
+			res.Migrations += migrate(runs, cfg)
 		}
 	}
 

@@ -2,6 +2,7 @@ package ga
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"meshplace/internal/geom"
@@ -49,13 +50,15 @@ func TestIslandConfigValidate(t *testing.T) {
 		name string
 		cfg  IslandConfig
 	}{
-		{"negative islands", IslandConfig{Islands: -1}},
-		{"negative interval", IslandConfig{MigrateEvery: -3}},
-		{"negative migrants", IslandConfig{Migrants: -1}},
+		{"negative islands", IslandConfig{Topology: RingTopology, Islands: -1}},
+		{"negative interval", IslandConfig{Topology: RingTopology, MigrateEvery: -3}},
+		{"negative migrants", IslandConfig{Topology: RingTopology, Migrants: -1}},
+		{"zero topology", IslandConfig{}},
+		{"zero topology with explicit fields", IslandConfig{Config: Config{PopSize: 16}, Islands: 4, MigrateEvery: 5, Migrants: 1}},
 		{"bad topology", IslandConfig{Topology: Topology(99)}},
-		{"ring flood", IslandConfig{Config: Config{PopSize: 8}, Islands: 2, Migrants: 8}},
+		{"ring flood", IslandConfig{Config: Config{PopSize: 8}, Topology: RingTopology, Islands: 2, Migrants: 8}},
 		{"complete flood", IslandConfig{Config: Config{PopSize: 8}, Islands: 5, Migrants: 2, Topology: CompleteTopology}},
-		{"bad base config", IslandConfig{Config: Config{Generations: -1}}},
+		{"bad base config", IslandConfig{Config: Config{Generations: -1}, Topology: RingTopology}},
 	}
 	for _, tt := range bad {
 		t.Run(tt.name, func(t *testing.T) {
@@ -64,8 +67,13 @@ func TestIslandConfigValidate(t *testing.T) {
 			}
 		})
 	}
-	if err := (IslandConfig{}).Validate(); err != nil {
-		t.Errorf("zero config (defaults) rejected: %v", err)
+	// The zero topology must fail with a message that names the problem,
+	// not the generic unknown-topology formatting.
+	if err := (IslandConfig{}).Validate(); err == nil || !strings.Contains(err.Error(), "no topology") {
+		t.Errorf("zero-topology Validate error = %v, want a clear no-topology message", err)
+	}
+	if err := (IslandConfig{Topology: RingTopology}).Validate(); err != nil {
+		t.Errorf("defaults with explicit ring rejected: %v", err)
 	}
 	def := DefaultIslandConfig()
 	if def.Islands != 4 || def.MigrateEvery != 10 || def.Migrants != 2 || def.Topology != RingTopology {

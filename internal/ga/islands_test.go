@@ -48,6 +48,7 @@ func quickIslandCfg(fan ga.FanOut) ga.IslandConfig {
 		Islands:      4,
 		MigrateEvery: 6,
 		Migrants:     2,
+		Topology:     ga.RingTopology,
 		FanOut:       fan,
 	}
 }
@@ -213,6 +214,7 @@ func BenchmarkIslandScaling(b *testing.B) {
 				Islands:      islands,
 				MigrateEvery: 10,
 				Migrants:     2,
+				Topology:     ga.RingTopology,
 			}
 			if workers > 1 {
 				cfg.FanOut = poolFanOut(workers)

@@ -28,6 +28,9 @@ type HillClimbConfig struct {
 	// OnPhase, when non-nil, receives each step's record live (see
 	// Config.OnPhase).
 	OnPhase func(PhaseRecord)
+	// Stop, when non-nil, is consulted after every step; returning true
+	// ends the climb there with the incumbent best (see Config.Stop).
+	Stop func(evals int, best wmn.Metrics) bool
 }
 
 func (c HillClimbConfig) withDefaults() HillClimbConfig {
@@ -113,6 +116,9 @@ func HillClimb(eval *wmn.Evaluator, initial wmn.Solution, cfg HillClimbConfig, r
 		if cfg.OnPhase != nil {
 			cfg.OnPhase(rec)
 		}
+		if cfg.Stop != nil && cfg.Stop(res.Evaluations, res.BestMetrics) {
+			break
+		}
 	}
 	return res, nil
 }
@@ -131,6 +137,10 @@ type AnnealConfig struct {
 	// OnPhase, when non-nil, receives a record at TraceEvery cadence live
 	// (see Config.OnPhase).
 	OnPhase func(PhaseRecord)
+	// Stop, when non-nil, is consulted after every step (not just at
+	// TraceEvery cadence); returning true ends the anneal there with the
+	// incumbent best (see Config.Stop).
+	Stop func(evals int, best wmn.Metrics) bool
 }
 
 func (c AnnealConfig) withDefaults() AnnealConfig {
@@ -226,6 +236,9 @@ func Anneal(eval *wmn.Evaluator, initial wmn.Solution, cfg AnnealConfig, r *rng.
 				cfg.OnPhase(rec)
 			}
 		}
+		if cfg.Stop != nil && cfg.Stop(res.Evaluations, res.BestMetrics) {
+			break
+		}
 	}
 	return res, nil
 }
@@ -244,6 +257,9 @@ type TabuConfig struct {
 	// OnPhase, when non-nil, receives each phase's record live (see
 	// Config.OnPhase).
 	OnPhase func(PhaseRecord)
+	// Stop, when non-nil, is consulted after every phase; returning true
+	// ends the search there with the incumbent best (see Config.Stop).
+	Stop func(evals int, best wmn.Metrics) bool
 }
 
 func (c TabuConfig) withDefaults() TabuConfig {
@@ -350,6 +366,9 @@ func Tabu(eval *wmn.Evaluator, initial wmn.Solution, cfg TabuConfig, r *rng.Rand
 		}
 		if cfg.OnPhase != nil {
 			cfg.OnPhase(rec)
+		}
+		if cfg.Stop != nil && cfg.Stop(res.Evaluations, res.BestMetrics) {
+			break
 		}
 	}
 	return res, nil

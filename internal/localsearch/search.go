@@ -31,6 +31,15 @@ type Config struct {
 	// (the serving layer's SSE streams) attach to. It is called from the
 	// search goroutine; slow consumers must buffer, not block.
 	OnPhase func(PhaseRecord)
+	// Stop, when non-nil, is consulted after every phase with the
+	// cumulative evaluation count and the best metrics so far. Returning
+	// true ends the search at that phase boundary: the incumbent best is
+	// returned as a normal result, never an error. Deadline-bounded
+	// serving and the portfolio meta-solver drive cancellation and
+	// evaluation budgets through this hook; it draws from no random
+	// stream, so a run that is never stopped is byte-identical to one
+	// without the hook.
+	Stop func(evals int, best wmn.Metrics) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +161,9 @@ func Search(eval *wmn.Evaluator, initial wmn.Solution, cfg Config, r *rng.Rand) 
 		}
 		if cfg.OnPhase != nil {
 			cfg.OnPhase(rec)
+		}
+		if cfg.Stop != nil && cfg.Stop(res.Evaluations, res.BestMetrics) {
+			break
 		}
 		if cfg.StopOnNoImprove && !improved {
 			break

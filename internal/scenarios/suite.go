@@ -1,6 +1,7 @@
 package scenarios
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -16,9 +17,11 @@ import (
 // Solver is the slice of the placement-server solver interface the suite
 // needs. server.Solver satisfies it structurally, so the suite can sweep
 // every registered solver kind without this package importing the server
-// (which imports scenarios for its catalog endpoint).
+// (which imports scenarios for its catalog endpoint). The suite always
+// solves to completion (Background context): report cells pin full
+// deterministic outputs, never deadline incumbents.
 type Solver interface {
-	Solve(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error)
+	Solve(ctx context.Context, eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error)
 }
 
 // NamedSolver labels a solver for the report, normally with its canonical
@@ -123,7 +126,7 @@ func RunSuite(scs []Scenario, solvers []NamedSolver, cfg SuiteConfig) (*Report, 
 		sc, sv := scs[si], solvers[vi]
 		runSeed := rng.DeriveString(cfg.Seed, "scenarios/suite/"+sc.Name+"/"+sv.Name).Uint64()
 		start := time.Now()
-		sol, metrics, err := sv.Solver.Solve(evals[si], runSeed)
+		sol, metrics, err := sv.Solver.Solve(context.Background(), evals[si], runSeed)
 		if err != nil {
 			return fmt.Errorf("scenarios: %s × %s: %w", sc.Name, sv.Name, err)
 		}

@@ -1,6 +1,7 @@
 package scenarios_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -22,6 +23,7 @@ func quickSpecs(t testing.TB) []server.Spec {
 		"anneal:steps=16",
 		"tabu:phases=2,neighbors=2",
 		"ga:generations=2,pop=4",
+		"portfolio:members=search:phases=2;neighbors=2|anneal:steps=16|adhoc,budget=64,slices=2",
 	}
 	if want := len(server.Kinds()); len(texts) != want {
 		t.Fatalf("quickSpecs covers %d kinds, registry has %d — extend the list", len(texts), want)
@@ -123,7 +125,7 @@ func TestSuiteReportCells(t *testing.T) {
 // failingSolver errors on one scenario to exercise the suite error path.
 type failingSolver struct{ fail string }
 
-func (f failingSolver) Solve(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+func (f failingSolver) Solve(_ context.Context, eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
 	if eval.Instance().Name == f.fail {
 		return wmn.Solution{}, wmn.Metrics{}, errors.New("boom")
 	}

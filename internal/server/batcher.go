@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"sync"
@@ -30,12 +31,19 @@ const (
 // is closed exactly once, after every other field has been written; waiters
 // must not read any field before receiving from done. Identical concurrent
 // requests therefore share one solver run and all observe the same bytes.
+//
+// key is the dedup/inflight key: for deadline-bounded requests it carries
+// the deadline instant, so plain requests never attach to a computation
+// that might truncate. cacheKey is the (instance, spec, seed) cache key the
+// payload publishes under — only when the solve ran to completion.
 type computation struct {
-	key  string
-	hash string
-	spec Spec
-	seed uint64
-	done chan struct{}
+	ctx      context.Context
+	key      string
+	cacheKey string
+	hash     string
+	spec     Spec
+	seed     uint64
+	done     chan struct{}
 
 	// pendingIn points at the batch the computation still sits in; nil once
 	// the batch flushed. Guarded by batcher.mu.
@@ -43,6 +51,7 @@ type computation struct {
 
 	// Result and telemetry, written by run before done closes.
 	payload   []byte
+	truncated bool
 	err       error
 	runStart  time.Time
 	buildNs   int64
@@ -144,10 +153,13 @@ func newBatcher(cfg Config, cache *Cache, agg *metricsAggregator) *batcher {
 // enqueue admits one cache-missed request and returns the computation to
 // wait on plus the cache path taken (CacheMiss for the request that opened
 // the computation, CacheDedupWait for every request that attached to it).
+// key is the dedup key, cacheKey the publish key; ctx bounds the solve and
+// is shared by everyone who deduplicates onto the computation (deadline
+// requests carry the deadline in their dedup key, so sharers agree on it).
 // onPhase, when non-nil, receives the computation's live solver progress
 // (shared with every other request coalesced onto it). After close it
 // returns errBatcherClosed and the caller solves directly.
-func (b *batcher) enqueue(in *wmn.Instance, hash, key string, spec Spec, seed uint64, onPhase func(localsearch.PhaseRecord)) (*computation, string, error) {
+func (b *batcher) enqueue(ctx context.Context, in *wmn.Instance, hash, key, cacheKey string, spec Spec, seed uint64, onPhase func(localsearch.PhaseRecord)) (*computation, string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if c, ok := b.inflight[key]; ok {
@@ -167,7 +179,7 @@ func (b *batcher) enqueue(in *wmn.Instance, hash, key string, spec Spec, seed ui
 	if b.closed {
 		return nil, "", errBatcherClosed
 	}
-	c := &computation{key: key, hash: hash, spec: spec, seed: seed, done: make(chan struct{})}
+	c := &computation{ctx: ctx, key: key, cacheKey: cacheKey, hash: hash, spec: spec, seed: seed, done: make(chan struct{})}
 	c.addHook(onPhase)
 	b.inflight[key] = c
 	bt := b.pending[hash]
@@ -240,10 +252,13 @@ func (b *batcher) run(in *wmn.Instance, comps []*computation) {
 			c.err = evalErr
 		} else {
 			solveStart := time.Now()
-			c.payload, c.err = solvePayload(eval, c.hash, c.spec, c.seed, c.emit)
+			c.payload, c.truncated, c.err = solvePayload(c.ctx, eval, c.hash, c.spec, c.seed, c.emit)
 			c.solveNs = time.Since(solveStart).Nanoseconds()
-			if c.err == nil {
-				publishResult(b.cache, b.store, c.key, c.payload)
+			// Truncated payloads are a deadline's incumbent, not the triple's
+			// deterministic result — publishing one would poison the cache for
+			// every future unbounded request.
+			if c.err == nil && !c.truncated {
+				publishResult(b.cache, b.store, c.cacheKey, c.payload)
 			}
 		}
 		close(c.done)
@@ -278,23 +293,31 @@ func (b *batcher) close() {
 // evaluator and marshals the canonical SolveResult payload — the bytes the
 // cache stores and every response path serves, identical for identical
 // triples whether the solve was batched, direct or replayed from cache.
-// onPhase, when non-nil, observes the solver's live progress; it draws
-// from no random stream, so it cannot perturb the payload.
-func solvePayload(eval *wmn.Evaluator, hash string, spec Spec, seed uint64, onPhase func(localsearch.PhaseRecord)) ([]byte, error) {
+// ctx bounds the solve; the returned bool reports truncation, and a
+// truncated payload must not be cached (it is the deadline's incumbent,
+// not the triple's deterministic result). onPhase, when non-nil, observes
+// the solver's live progress; it draws from no random stream, so it cannot
+// perturb the payload.
+func solvePayload(ctx context.Context, eval *wmn.Evaluator, hash string, spec Spec, seed uint64, onPhase func(localsearch.PhaseRecord)) ([]byte, bool, error) {
 	sv, err := NewSolver(spec)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	sol, metrics, err := sv.(TracedSolver).SolveTraced(eval, seed, onPhase)
+	rep, err := sv.(TracedSolver).SolveTraced(ctx, eval, seed, onPhase)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return json.Marshal(SolveResult{
+	payload, err := json.Marshal(SolveResult{
 		Solver:       spec,
 		Seed:         seed,
 		Instance:     eval.Instance().Name,
 		InstanceHash: hash,
-		Metrics:      metrics,
-		Solution:     sol,
+		Metrics:      rep.Metrics,
+		Solution:     rep.Solution,
+		Evaluations:  rep.Evaluations,
+		Anytime:      rep.Anytime,
+		Portfolio:    rep.Portfolio,
+		Truncated:    rep.Truncated,
 	})
+	return payload, rep.Truncated, err
 }

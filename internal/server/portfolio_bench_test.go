@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"meshplace/internal/wmn"
+)
+
+// BenchmarkPortfolio records the cost of the portfolio meta-solver next to
+// each of its members run standalone at a comparable evaluation budget. One
+// op is one full solve; the achieved fitness rides along as a metric, so
+// the stream documents the quality-per-budget tradeoff the portfolio buys:
+// near-best-member fitness without knowing the best member in advance.
+func BenchmarkPortfolio(b *testing.B) {
+	cfg := wmn.DefaultGenConfig()
+	cfg.Name = "portfolio-bench"
+	cfg.Width, cfg.Height = 64, 64
+	cfg.NumRouters = 24
+	cfg.NumClients = 96
+	cfg.Seed = 11
+	in, err := wmn.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval, err := wmn.NewEvaluator(in, wmn.EvalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Each member alone spends roughly the portfolio's whole budget, so the
+	// arms answer: what does racing cost against betting on one member?
+	arms := []struct{ name, spec string }{
+		{"portfolio", "portfolio:members=search:phases=125;neighbors=16|anneal:steps=2000|tabu:phases=62;neighbors=16|ga:generations=125;pop=16,budget=2000,slices=4"},
+		{"search", "search:phases=125,neighbors=16"},
+		{"anneal", "anneal:steps=2000"},
+		{"tabu", "tabu:phases=62,neighbors=16"},
+		{"ga", "ga:generations=125,pop=16"},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			spec, err := ParseSpec(arm.spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sv, err := NewSolver(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last SolveReport
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := sv.(TracedSolver).SolveTraced(context.Background(), eval, 42, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rep
+			}
+			b.StopTimer()
+			b.ReportMetric(last.Metrics.Fitness, "fitness")
+			b.ReportMetric(float64(last.Evaluations), "evals")
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -22,25 +23,84 @@ type Solver interface {
 	Spec() Spec
 	// Solve places the evaluator's instance, deriving every random
 	// stream from seed, and returns the best solution found with its
-	// metrics.
-	Solve(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error)
+	// metrics. ctx bounds the run: when it is cancelled or its deadline
+	// expires, the solver stops at its next phase boundary and returns
+	// the incumbent best as a normal result, never an error (the full
+	// report, including whether the run was truncated, is available
+	// through TracedSolver.SolveTraced). Deadlines never perturb
+	// determinism — they only decide which deterministic phase boundary
+	// the run stops at.
+	Solve(ctx context.Context, eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error)
+}
+
+// AnytimePoint is one point of a solve's anytime curve: the best fitness
+// known after the given number of fitness evaluations. Points land at
+// solver phase boundaries whenever the best improved, plus the terminal
+// boundary, so the curve is non-empty and ends at the returned metrics.
+// Being keyed by evaluation counts rather than wall clock, the curve is
+// identical for identical (instance, spec, seed) triples at any worker
+// count.
+type AnytimePoint struct {
+	Evals       int     `json:"evals"`
+	BestFitness float64 `json:"bestFitness"`
+}
+
+// SolveReport is the full outcome of one solve: the solution and metrics
+// every solve yields, plus the anytime curve, the evaluation count, the
+// portfolio race report (portfolio kind only) and the truncation flag.
+type SolveReport struct {
+	Solution wmn.Solution
+	Metrics  wmn.Metrics
+	// Evaluations counts fitness evaluations across the run.
+	Evaluations int
+	// Anytime is the run's improvement curve (see AnytimePoint).
+	Anytime []AnytimePoint
+	// Portfolio describes how a portfolio solve raced its members; nil for
+	// every other kind.
+	Portfolio *PortfolioReport
+	// Truncated reports that ctx ended the run early: the result is the
+	// incumbent at the phase boundary where cancellation was observed, not
+	// the spec's full deterministic output, and must not be cached as it.
+	Truncated bool
 }
 
 // TracedSolver is implemented by solvers that can report live progress.
 // Every solver NewSolver returns implements it. The hook receives the
 // method's own trace records as the search runs (phase for the
-// neighborhood methods, generation/barrier for the GA; the ad hoc
-// constructors have no phases and never call it); it draws from no random
-// stream, so a traced solve returns results byte-identical to Solve with
-// the same triple. onPhase may be nil, making SolveTraced identical to
-// Solve. The hook is called from the solving goroutine: slow consumers
-// must buffer, not block.
+// neighborhood methods, generation/barrier for the GA, slice barrier for
+// the portfolio; the ad hoc constructors have no phases and never call
+// it); it draws from no random stream, so a traced solve returns results
+// byte-identical to Solve with the same triple. onPhase may be nil. The
+// hook is called from the solving goroutine: slow consumers must buffer,
+// not block.
 type TracedSolver interface {
 	Solver
-	SolveTraced(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error)
+	SolveTraced(ctx context.Context, eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (SolveReport, error)
 }
 
-type solveFunc func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error)
+// solveHooks carries the per-solve observation and control hooks into a
+// registry build. Builds wire onPhase into their engine's progress hook
+// and stop into its Stop field; both may be nil.
+type solveHooks struct {
+	onPhase func(localsearch.PhaseRecord)
+	// stop is consulted at the engine's phase boundaries with cumulative
+	// evaluations and best-so-far; returning true makes the engine return
+	// its incumbent. The generic solver wrapper owns this hook (anytime
+	// recording + ctx cancellation); the portfolio coordinator substitutes
+	// its own budget gates when driving members.
+	stop func(evals int, best wmn.Metrics) bool
+}
+
+// solveOut is what a registry build returns: the raw engine outcome. The
+// generic wrapper turns it into a SolveReport.
+type solveOut struct {
+	sol       wmn.Solution
+	metrics   wmn.Metrics
+	evals     int
+	portfolio *PortfolioReport
+}
+
+type solveFunc func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error)
 
 type solver struct {
 	spec Spec
@@ -49,12 +109,57 @@ type solver struct {
 
 func (s solver) Spec() Spec { return s.spec }
 
-func (s solver) Solve(eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
-	return s.run(eval, seed, nil)
+func (s solver) Solve(ctx context.Context, eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
+	rep, err := s.SolveTraced(ctx, eval, seed, nil)
+	return rep.Solution, rep.Metrics, err
 }
 
-func (s solver) SolveTraced(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
-	return s.run(eval, seed, onPhase)
+func (s solver) SolveTraced(ctx context.Context, eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (SolveReport, error) {
+	rec := anytimeRecorder{ctx: ctx}
+	out, err := s.run(eval, seed, solveHooks{onPhase: onPhase, stop: rec.hook})
+	if err != nil {
+		return SolveReport{}, err
+	}
+	return SolveReport{
+		Solution:    out.sol,
+		Metrics:     out.metrics,
+		Evaluations: out.evals,
+		Anytime:     rec.finish(out.evals, out.metrics),
+		Portfolio:   out.portfolio,
+		Truncated:   rec.truncated,
+	}, nil
+}
+
+// anytimeRecorder is the generic wrapper's phase-boundary hook: it records
+// the anytime curve (one point per improvement) and stops the engine when
+// ctx is cancelled or past its deadline. Methods run on the solving
+// goroutine only; the recorder draws from no random stream, so it never
+// perturbs results.
+type anytimeRecorder struct {
+	ctx       context.Context
+	curve     []AnytimePoint
+	truncated bool
+}
+
+func (a *anytimeRecorder) hook(evals int, best wmn.Metrics) bool {
+	if len(a.curve) == 0 || best.Fitness > a.curve[len(a.curve)-1].BestFitness {
+		a.curve = append(a.curve, AnytimePoint{Evals: evals, BestFitness: best.Fitness})
+	}
+	if a.ctx != nil && a.ctx.Err() != nil {
+		a.truncated = true
+		return true
+	}
+	return false
+}
+
+// finish closes the curve at the run's terminal point. Engines without
+// phase boundaries (the ad hoc constructors) never call hook; their curve
+// is the single terminal point.
+func (a *anytimeRecorder) finish(evals int, best wmn.Metrics) []AnytimePoint {
+	if n := len(a.curve); n == 0 || a.curve[n-1].Evals != evals || a.curve[n-1].BestFitness != best.Fitness {
+		a.curve = append(a.curve, AnytimePoint{Evals: evals, BestFitness: best.Fitness})
+	}
+	return a.curve
 }
 
 // paramDef declares one parameter of a registered solver kind: its key,
@@ -226,14 +331,14 @@ func init() {
 				return nil, err
 			}
 			// Ad hoc placement is a single constructive pass with no phases;
-			// the progress hook has nothing to report and is ignored.
-			return func(eval *wmn.Evaluator, seed uint64, _ func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
+			// the hooks have nothing to observe or stop and are ignored.
+			return func(eval *wmn.Evaluator, seed uint64, _ solveHooks) (solveOut, error) {
 				sol, err := p.Place(eval.Instance(), rng.DeriveString(seed, "solve/adhoc"))
 				if err != nil {
-					return wmn.Solution{}, wmn.Metrics{}, err
+					return solveOut{}, err
 				}
 				metrics, err := eval.Evaluate(sol)
-				return sol, metrics, err
+				return solveOut{sol: sol, metrics: metrics, evals: 1}, err
 			}, nil
 		},
 	})
@@ -248,21 +353,22 @@ func init() {
 			{key: "neighbors", def: "16", doc: "neighbors examined per phase", check: intParam(1)},
 		},
 		build: func(spec Spec) (solveFunc, error) {
-			return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
+			return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
-					return wmn.Solution{}, wmn.Metrics{}, err
+					return solveOut{}, err
 				}
 				res, err := localsearch.Search(eval, initial, localsearch.Config{
 					Movement:          movementFor(spec.Param("movement")),
 					MaxPhases:         spec.specInt("phases"),
 					NeighborsPerPhase: spec.specInt("neighbors"),
-					OnPhase:           onPhase,
+					OnPhase:           h.onPhase,
+					Stop:              h.stop,
 				}, rng.DeriveString(seed, "solve/search"))
 				if err != nil {
-					return wmn.Solution{}, wmn.Metrics{}, err
+					return solveOut{}, err
 				}
-				return res.Best, res.BestMetrics, nil
+				return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
 			}, nil
 		},
 	})
@@ -277,21 +383,22 @@ func init() {
 			{key: "noimprove", def: "256", doc: "consecutive rejections before stopping", check: intParam(1)},
 		},
 		build: func(spec Spec) (solveFunc, error) {
-			return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
+			return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
-					return wmn.Solution{}, wmn.Metrics{}, err
+					return solveOut{}, err
 				}
 				res, err := localsearch.HillClimb(eval, initial, localsearch.HillClimbConfig{
 					Movement:     movementFor(spec.Param("movement")),
 					MaxSteps:     spec.specInt("steps"),
 					MaxNoImprove: spec.specInt("noimprove"),
-					OnPhase:      onPhase,
+					OnPhase:      h.onPhase,
+					Stop:         h.stop,
 				}, rng.DeriveString(seed, "solve/hillclimb"))
 				if err != nil {
-					return wmn.Solution{}, wmn.Metrics{}, err
+					return solveOut{}, err
 				}
-				return res.Best, res.BestMetrics, nil
+				return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
 			}, nil
 		},
 	})
@@ -319,19 +426,20 @@ func init() {
 			if err := probe.Validate(); err != nil {
 				return nil, err
 			}
-			return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
+			return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
-					return wmn.Solution{}, wmn.Metrics{}, err
+					return solveOut{}, err
 				}
 				run := cfg
 				run.Movement = movementFor(spec.Param("movement"))
-				run.OnPhase = onPhase
+				run.OnPhase = h.onPhase
+				run.Stop = h.stop
 				res, err := localsearch.Anneal(eval, initial, run, rng.DeriveString(seed, "solve/anneal"))
 				if err != nil {
-					return wmn.Solution{}, wmn.Metrics{}, err
+					return solveOut{}, err
 				}
-				return res.Best, res.BestMetrics, nil
+				return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
 			}, nil
 		},
 	})
@@ -347,22 +455,23 @@ func init() {
 			{key: "tenure", def: "8", doc: "phases a changed router stays tabu", check: intParam(1)},
 		},
 		build: func(spec Spec) (solveFunc, error) {
-			return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
+			return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
-					return wmn.Solution{}, wmn.Metrics{}, err
+					return solveOut{}, err
 				}
 				res, err := localsearch.Tabu(eval, initial, localsearch.TabuConfig{
 					Movement:          movementFor(spec.Param("movement")),
 					MaxPhases:         spec.specInt("phases"),
 					NeighborsPerPhase: spec.specInt("neighbors"),
 					Tenure:            spec.specInt("tenure"),
-					OnPhase:           onPhase,
+					OnPhase:           h.onPhase,
+					Stop:              h.stop,
 				}, rng.DeriveString(seed, "solve/tabu"))
 				if err != nil {
-					return wmn.Solution{}, wmn.Metrics{}, err
+					return solveOut{}, err
 				}
-				return res.Best, res.BestMetrics, nil
+				return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
 			}, nil
 		},
 	})
@@ -419,36 +528,46 @@ func init() {
 				if err := icfg.Validate(); err != nil {
 					return nil, err
 				}
-				return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
+				return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
 					run := icfg
-					if onPhase != nil {
+					// RunIslands drives Stop at migration barriers on the
+					// coordinating goroutine with the summed evaluation count,
+					// keeping the anytime curve worker-count-invariant.
+					run.Config.Stop = h.stop
+					if h.onPhase != nil {
 						// Progress for the island model is the migration
 						// barrier: it runs on the coordinating goroutine with
 						// monotonic generations, matching the hook contract.
 						run.OnBarrier = func(gen int, best wmn.Metrics) {
-							onPhase(localsearch.PhaseRecord{Phase: gen, Metrics: best, Accepted: true, Proposed: true})
+							h.onPhase(localsearch.PhaseRecord{Phase: gen, Metrics: best, Accepted: true, Proposed: true})
 						}
 					}
 					res, err := ga.RunIslands(eval, init, run, seed)
 					if err != nil {
-						return wmn.Solution{}, wmn.Metrics{}, err
+						return solveOut{}, err
 					}
-					return res.Best, res.BestMetrics, nil
+					return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
 				}, nil
 			}
-			return func(eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (wmn.Solution, wmn.Metrics, error) {
+			return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
 				run := cfg
-				if onPhase != nil {
+				run.Stop = h.stop
+				if h.onPhase != nil {
 					run.OnGeneration = func(gen int, best wmn.Metrics) {
-						onPhase(localsearch.PhaseRecord{Phase: gen, Metrics: best, Accepted: true, Proposed: true})
+						h.onPhase(localsearch.PhaseRecord{Phase: gen, Metrics: best, Accepted: true, Proposed: true})
 					}
 				}
 				res, err := ga.Run(eval, init, run, rng.DeriveString(seed, "solve/ga"))
 				if err != nil {
-					return wmn.Solution{}, wmn.Metrics{}, err
+					return solveOut{}, err
 				}
-				return res.Best, res.BestMetrics, nil
+				return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
 			}, nil
 		},
 	})
+
+	// Registered last so "portfolio" closes the kinds listing; its members
+	// reference the kinds above. (Registration from this init keeps the
+	// order independent of file-name-alphabetical init sequencing.)
+	register(portfolioDef())
 }

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"meshplace/internal/experiments"
@@ -169,6 +171,13 @@ type SolveRequest struct {
 	// to the server's router threshold, async job handle above), "sync"
 	// or "async".
 	Mode string `json:"mode,omitempty"`
+	// DeadlineMs, when positive, bounds the solve to that many
+	// milliseconds from admission. A solver past the deadline stops at its
+	// next phase boundary and returns the incumbent best as a normal
+	// result with truncated=true — never an error. Deadlines never perturb
+	// determinism (they only pick which deterministic phase boundary the
+	// run stops at), and truncated results are never cached.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
 }
 
 // SolveResult is the payload of a completed solve: the "result" field of a
@@ -182,6 +191,17 @@ type SolveResult struct {
 	InstanceHash string       `json:"instanceHash"`
 	Metrics      wmn.Metrics  `json:"metrics"`
 	Solution     wmn.Solution `json:"solution"`
+	// Evaluations and Anytime report the solve's cost and improvement
+	// curve; both are keyed by evaluation counts, so they are part of the
+	// deterministic payload.
+	Evaluations int            `json:"evaluations"`
+	Anytime     []AnytimePoint `json:"anytime"`
+	// Portfolio describes the member race of a portfolio solve; absent for
+	// every other kind.
+	Portfolio *PortfolioReport `json:"portfolio,omitempty"`
+	// Truncated marks a deadline-bounded incumbent (see
+	// SolveRequest.DeadlineMs); such payloads are never cached.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // SolveResponse is the 200 body of a synchronous POST /v1/solve: the
@@ -281,12 +301,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown mode %q (want auto, sync or async)", req.Mode)
 		return
 	}
+	if req.DeadlineMs < 0 {
+		writeError(w, http.StatusBadRequest, "deadlineMs must be positive, got %d", req.DeadlineMs)
+		return
+	}
 
 	if async {
+		// An async job outlives the HTTP request, so its deadline hangs off
+		// Background, not the request context; the job closure owns cancel.
+		ctx, cancel := context.Background(), context.CancelFunc(func() {})
+		if req.DeadlineMs > 0 {
+			ctx, cancel = context.WithDeadline(ctx, admitted.Add(time.Duration(req.DeadlineMs)*time.Millisecond))
+		}
 		job, err := s.jobs.submit(req.Solver, req.Seed, func(publish func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
-			return s.solveInstrumented(in, req.Solver, req.Seed, "async", admitted, publish)
+			defer cancel()
+			return s.solveInstrumented(ctx, in, req.Solver, req.Seed, "async", admitted, publish)
 		})
 		if err != nil {
+			cancel()
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 			return
 		}
@@ -295,7 +327,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	payload, m, err := s.solveInstrumented(in, req.Solver, req.Seed, "sync", admitted, nil)
+	// Plain synchronous solves run on Background: a dropped connection must
+	// not truncate a computation other deduplicated waiters share.
+	ctx := context.Background()
+	if req.DeadlineMs > 0 {
+		dctx, cancel := context.WithDeadline(r.Context(), admitted.Add(time.Duration(req.DeadlineMs)*time.Millisecond))
+		defer cancel()
+		ctx = dctx
+	}
+	payload, m, err := s.solveInstrumented(ctx, in, req.Solver, req.Seed, "sync", admitted, nil)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "solve: %v", err)
 		return
@@ -370,12 +410,21 @@ func nonNegNs(d time.Duration) int64 {
 // RequestMetrics describe this request's trip and are folded into the
 // server aggregate behind GET /v1/metrics. admitted is when the request
 // entered the server, so async jobs account their pool queueing as queue
-// wait. onPhase, when non-nil, observes the solver's live progress (it
-// sees nothing on the hit paths — there is no solver run to observe).
-func (s *Server) solveInstrumented(in *wmn.Instance, spec Spec, seed uint64, mode string, admitted time.Time, onPhase func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
+// wait. ctx bounds the solve (see SolveRequest.DeadlineMs): cached hits
+// still serve — a completed result trivially satisfies any deadline — but
+// deadline-bounded misses deduplicate under a key carrying the deadline
+// instant, so an unbounded request never waits on a computation that might
+// truncate, and truncated payloads are never published. onPhase, when
+// non-nil, observes the solver's live progress (it sees nothing on the hit
+// paths — there is no solver run to observe).
+func (s *Server) solveInstrumented(ctx context.Context, in *wmn.Instance, spec Spec, seed uint64, mode string, admitted time.Time, onPhase func(localsearch.PhaseRecord)) ([]byte, RequestMetrics, error) {
 	m := RequestMetrics{Mode: mode}
 	hash := HashInstance(in)
 	key := cacheKey(hash, spec, seed)
+	dedupKey := key
+	if dl, ok := ctx.Deadline(); ok {
+		dedupKey = key + "|deadline=" + strconv.FormatInt(dl.UnixMilli(), 10)
+	}
 	if b, ok := s.cache.Get(key); ok {
 		m.CachePath = CacheHit
 		m.QueueWaitNs = nonNegNs(time.Since(admitted))
@@ -392,7 +441,7 @@ func (s *Server) solveInstrumented(in *wmn.Instance, spec Spec, seed uint64, mod
 	}
 
 	if s.batch != nil {
-		comp, path, err := s.batch.enqueue(in, hash, key, spec, seed, onPhase)
+		comp, path, err := s.batch.enqueue(ctx, in, hash, dedupKey, key, spec, seed, onPhase)
 		if err == nil {
 			<-comp.done
 			if comp.err != nil {
@@ -418,12 +467,14 @@ func (s *Server) solveInstrumented(in *wmn.Instance, spec Spec, seed uint64, mod
 	}
 	m.BatchBuildNs = time.Since(buildStart).Nanoseconds()
 	solveStart := time.Now()
-	payload, err := solvePayload(eval, hash, spec, seed, onPhase)
+	payload, truncated, err := solvePayload(ctx, eval, hash, spec, seed, onPhase)
 	if err != nil {
 		return nil, m, err
 	}
 	m.SolveNs = time.Since(solveStart).Nanoseconds()
-	publishResult(s.cache, s.cfg.Store, key, payload)
+	if !truncated {
+		publishResult(s.cache, s.cfg.Store, key, payload)
+	}
 	m.CachePath = CacheMiss
 	m.BatchSize = 1
 	m.TotalNs = nonNegNs(time.Since(admitted))

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"strings"
@@ -170,6 +171,7 @@ func quickSpecs(t *testing.T) []Spec {
 		"tabu:movement=random,phases=4,neighbors=4,tenure=2",
 		"ga:init=HotSpot,generations=5,pop=8",
 		"ga:generations=6,pop=8,islands=3,migrateevery=2,migrants=1",
+		"portfolio:members=search:phases=2;neighbors=2|anneal:steps=32|adhoc:method=Near,budget=96,slices=2",
 	}
 	specs := make([]Spec, len(texts))
 	for i, text := range texts {
@@ -194,7 +196,7 @@ func TestEverySolverSolvesDeterministically(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sol, metrics, err := sv.Solve(eval, 42)
+			sol, metrics, err := sv.Solve(context.Background(), eval, 42)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -209,7 +211,7 @@ func TestEverySolverSolvesDeterministically(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sol2, metrics2, err := sv2.Solve(eval, 42)
+			sol2, metrics2, err := sv2.Solve(context.Background(), eval, 42)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -218,7 +220,7 @@ func TestEverySolverSolvesDeterministically(t *testing.T) {
 			}
 			// Different seed: almost surely different for the stochastic
 			// solvers; only check it still validates.
-			if _, _, err := sv.Solve(eval, 43); err != nil {
+			if _, _, err := sv.Solve(context.Background(), eval, 43); err != nil {
 				t.Fatal(err)
 			}
 		})

@@ -202,8 +202,8 @@ func TestFacadeWeightsAndModels(t *testing.T) {
 
 func TestFacadeSolverRegistry(t *testing.T) {
 	kinds := meshplace.SolverKinds()
-	if len(kinds) != 6 {
-		t.Fatalf("registry lists %d kinds, want 6: %v", len(kinds), kinds)
+	if len(kinds) != 7 {
+		t.Fatalf("registry lists %d kinds, want 7: %v", len(kinds), kinds)
 	}
 	if len(meshplace.SolverCatalog()) != len(kinds) {
 		t.Error("catalog size != kind count")

@@ -1,6 +1,8 @@
 package meshplace
 
 import (
+	"context"
+
 	"meshplace/internal/server"
 	"meshplace/internal/wmn"
 )
@@ -34,6 +36,17 @@ type (
 	// SolveMetrics is the flat per-request telemetry attached to every
 	// solve response (queue wait, batch build, solve, cache path).
 	SolveMetrics = server.RequestMetrics
+	// SolveReport is the full outcome of one solve: solution, metrics,
+	// evaluation count, anytime curve, optional portfolio race report and
+	// the deadline-truncation flag.
+	SolveReport = server.SolveReport
+	// AnytimePoint is one point of a solve's anytime curve (best fitness by
+	// cumulative evaluation count).
+	AnytimePoint = server.AnytimePoint
+	// PortfolioReport describes how a portfolio solve raced its members.
+	PortfolioReport = server.PortfolioReport
+	// PortfolioMemberReport is one raced member inside a PortfolioReport.
+	PortfolioMemberReport = server.PortfolioMemberReport
 	// ServerMetrics is the aggregated telemetry served by GET /v1/metrics:
 	// monotonic request/batch counters plus p50/p99 per phase.
 	ServerMetrics = server.MetricsSnapshot
@@ -65,17 +78,29 @@ func NewSolver(spec SolverSpec) (Solver, error) { return server.NewSolver(spec) 
 // Solve runs one solver spec on an instance under the paper's default
 // evaluation model, deriving all randomness from seed. Identical
 // (instance, spec, seed) triples yield identical solutions on every
-// platform.
+// platform. The solve always runs to completion; use SolveContext to bound
+// it with a deadline.
 func Solve(spec SolverSpec, in *Instance, seed uint64) (Solution, Metrics, error) {
+	rep, err := SolveContext(context.Background(), spec, in, seed)
+	return rep.Solution, rep.Metrics, err
+}
+
+// SolveContext is Solve bounded by a context: when ctx is cancelled or its
+// deadline expires, the solver stops at its next phase boundary and
+// returns the incumbent best as a normal result (Truncated set), never an
+// error. The full report carries the anytime curve and, for portfolio
+// specs, the member race report. Deadlines never perturb determinism —
+// they only pick which deterministic phase boundary the run stops at.
+func SolveContext(ctx context.Context, spec SolverSpec, in *Instance, seed uint64) (SolveReport, error) {
 	sv, err := server.NewSolver(spec)
 	if err != nil {
-		return Solution{}, Metrics{}, err
+		return SolveReport{}, err
 	}
 	eval, err := wmn.NewEvaluator(in, wmn.EvalOptions{})
 	if err != nil {
-		return Solution{}, Metrics{}, err
+		return SolveReport{}, err
 	}
-	return sv.Solve(eval, seed)
+	return sv.(server.TracedSolver).SolveTraced(ctx, eval, seed, nil)
 }
 
 // DefaultServerConfig returns the serving defaults used by
