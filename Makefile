@@ -5,13 +5,13 @@ GO ?= go
 
 # Per-PR benchmark stream: override for a scratch run, e.g.
 #   make bench BENCH_OUT=BENCH_CI.json
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 # Committed baseline the regression check diffs against.
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR8.json
 
-.PHONY: ci vet build test race bench benchdiff fmt-check fuzz-smoke
+.PHONY: ci vet lint build test race bench benchdiff fmt-check fuzz-smoke
 
-ci: vet build race
+ci: vet lint build race
 
 # The explicit second vet keeps the serving, cluster, scenario and
 # incremental-evaluation layers in the gate even if the ./... pattern is
@@ -20,6 +20,19 @@ vet:
 	$(GO) vet ./...
 	$(GO) vet ./internal/server ./internal/cluster ./internal/scenarios
 	$(GO) vet ./internal/wmn ./internal/spatial ./internal/localsearch ./internal/ga
+	$(GO) vet ./internal/lint ./cmd/wmnlint
+
+# Determinism & discipline linter (internal/lint + cmd/wmnlint, stdlib
+# go/ast only): globalrand (math/rand outside internal/rng), wallclock
+# (time.Now/Since/Sleep/... off the telemetry allowlist), mapiter
+# (order-dependent map iteration in deterministic packages),
+# ctxbackground (context.Background inside ctx-receiving functions),
+# nakedgo (go statements outside the pool/serving layers), chanselect
+# (multi-case selects in deterministic packages). Non-zero exit on any
+# finding; waive a line with `//wmnlint:allow <rule> — <reason>`, see
+# internal/lint/policy.go for the package-level allowance table.
+lint:
+	$(GO) run ./cmd/wmnlint ./...
 
 build:
 	$(GO) build ./...

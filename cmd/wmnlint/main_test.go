@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRulesListing(t *testing.T) {
+	if err := run([]string{"-rules"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCleanPackages smokes the CLI paths: a recursive pattern rooted in
+// this package's directory and an explicit package directory. Both are
+// clean trees, so run returns (findings would os.Exit(1), failing loudly).
+func TestCleanPackages(t *testing.T) {
+	if err := run([]string{"./...", "../../internal/geom"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -39,12 +39,12 @@ func runSolve(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
-	start := time.Now()
+	start := time.Now() //wmnlint:allow wallclock — CLI elapsed-time report; the solve itself is seed-deterministic
 	rep, err := meshplace.SolveContext(ctx, spec, in, inst.seed)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //wmnlint:allow wallclock — CLI elapsed-time report; the solve itself is seed-deterministic
 
 	if *anytime {
 		for _, pt := range rep.Anytime {

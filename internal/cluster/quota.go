@@ -88,7 +88,7 @@ type bucket struct {
 
 func newQuotaSet(cfg QuotaConfig, now func() time.Time) *quotaSet {
 	if now == nil {
-		now = time.Now
+		now = time.Now //wmnlint:allow wallclock — production quotas refill on wall time; tests inject a fake clock here
 	}
 	burst := float64(cfg.Burst)
 	if cfg.Burst == 0 {

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"maps"
 	"slices"
 	"strconv"
 	"strings"
@@ -130,7 +131,9 @@ func ParseSpec(text string) (Spec, error) {
 			return Spec{}, fmt.Errorf("dist: trace requires parameter %q (want trace:file=points.json)", "file")
 		}
 		if len(params) != 1 {
-			for key := range params {
+			// Sorted so the reported offender is deterministic: ranging the
+			// map directly would blame a random one of several extras.
+			for _, key := range slices.Sorted(maps.Keys(params)) {
 				if key != "file" {
 					return Spec{}, fmt.Errorf("dist: trace does not take parameter %q", key)
 				}
@@ -177,7 +180,9 @@ func parseFloatParams(kind Kind, required []string, params map[string]string) (m
 		out[key] = v
 	}
 	if len(params) != len(required) {
-		for key := range params {
+		// Sorted so the reported offender is deterministic: ranging the
+		// map directly would blame a random one of several extras.
+		for _, key := range slices.Sorted(maps.Keys(params)) {
 			if !slices.Contains(required, key) {
 				return nil, fmt.Errorf("dist: %s does not take parameter %q", kind, key)
 			}
@@ -198,7 +203,10 @@ func parseHotspotParams(params map[string]string) ([]Hotspot, error) {
 	var seen [4][MaxHotspots]bool
 	const fields = "xysw"
 	count := 0
-	for key, raw := range params {
+	// Sorted for deterministic error selection: with several malformed
+	// keys, ranging the map directly would report a random one.
+	for _, key := range slices.Sorted(maps.Keys(params)) {
+		raw := params[key]
 		if len(key) < 2 || strings.IndexByte(fields, key[0]) < 0 {
 			return nil, fmt.Errorf("dist: hotspots does not take parameter %q (want x<i>, y<i>, s<i> or w<i>)", key)
 		}

@@ -151,3 +151,32 @@ func TestStringZeroAndInvalidSpecs(t *testing.T) {
 		}
 	}
 }
+
+// TestParseSpecErrorDeterministic pins that a spec with several offending
+// parameters always blames the lexicographically smallest one. The error
+// paths used to range the parameter map directly, so which key was
+// reported depended on runtime map order; the loops now iterate sorted
+// keys (flagged by wmnlint's mapiter rule). 32 repetitions make a
+// regression to map order practically certain to surface, since Go
+// reseeds iteration order per range.
+func TestParseSpecErrorDeterministic(t *testing.T) {
+	cases := []struct {
+		input string
+		want  string
+	}{
+		{"trace:file=x,beta=1,alpha=2", `dist: trace does not take parameter "alpha"`},
+		{"normal:mx=1,my=1,sigma=1,zed=3,abc=2", `dist: normal does not take parameter "abc"`},
+		{"hotspots:q1=1,z9=2", `dist: hotspots does not take parameter "q1" (want x<i>, y<i>, s<i> or w<i>)`},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 32; i++ {
+			_, err := ParseSpec(tc.input)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) unexpectedly succeeded", tc.input)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("ParseSpec(%q) error = %q, want %q (nondeterministic key selection?)", tc.input, err, tc.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ChanSelect flags `select` statements with two or more communication
+// cases in deterministic packages: when several cases are ready the
+// runtime picks one uniformly at random, so control flow — and therefore
+// output — depends on scheduling. A single case plus `default` (a
+// non-blocking poll) is deterministic given channel state and passes.
+func ChanSelect() *Analyzer {
+	return &Analyzer{
+		Name: "chanselect",
+		Doc:  "multi-case select in a deterministic package; the ready-race is scheduler-random",
+		Run: func(pkg *Package, file *File, report func(pos token.Pos, format string, args ...any)) {
+			ast.Inspect(file.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectStmt)
+				if !ok {
+					return true
+				}
+				comms := 0
+				for _, clause := range sel.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						comms++
+					}
+				}
+				if comms >= 2 {
+					report(sel.Pos(), "select with %d communication cases: when several are ready the winner is scheduler-random; deterministic code must impose its own order", comms)
+				}
+				return true
+			})
+		},
+	}
+}

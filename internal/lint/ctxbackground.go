@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxBackground flags context.Background() / context.TODO() calls inside
+// a function that already receives a context.Context parameter. Minting a
+// fresh root there severs the deadline chain built in PR 8 — a caller's
+// `deadlineMs` or `wmnplace solve -deadline` budget silently stops
+// propagating. Functions without a ctx parameter (HTTP handlers hanging
+// async jobs off Background, CLI entry points) are the legitimate roots
+// and are untouched.
+func CtxBackground() *Analyzer {
+	return &Analyzer{
+		Name: "ctxbackground",
+		Doc:  "context.Background()/TODO() inside a function that already receives a ctx; pass the parameter through",
+		Run: func(pkg *Package, file *File, report func(pos token.Pos, format string, args ...any)) {
+			// ctxDepth counts enclosing functions that bind a
+			// context.Context parameter.
+			ctxDepth := 0
+			var walk func(n ast.Node)
+			walk = func(n ast.Node) {
+				ast.Inspect(n, func(m ast.Node) bool {
+					switch v := m.(type) {
+					case *ast.FuncDecl:
+						if m == n {
+							return true
+						}
+						enter(v.Type, file, &ctxDepth, walk, v.Body)
+						return false
+					case *ast.FuncLit:
+						if m == n {
+							return true
+						}
+						enter(v.Type, file, &ctxDepth, walk, v.Body)
+						return false
+					case *ast.CallExpr:
+						if name, ok := pkgSelector(file, v.Fun, "context"); ok && (name == "Background" || name == "TODO") && ctxDepth > 0 {
+							report(v.Pos(), "context.%s() inside a function that receives a context.Context: pass the parameter through or derive with context.With*", name)
+						}
+					}
+					return true
+				})
+			}
+			walk(file.AST)
+		},
+	}
+}
+
+// enter descends into a function body, tracking whether its signature
+// binds a context.Context parameter.
+func enter(ft *ast.FuncType, file *File, depth *int, walk func(ast.Node), body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	has := hasCtxParam(ft, file)
+	if has {
+		*depth++
+	}
+	walk(body)
+	if has {
+		*depth--
+	}
+}
+
+func hasCtxParam(ft *ast.FuncType, file *File) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if name, ok := pkgSelector(file, field.Type, "context"); ok && name == "Context" {
+			return true
+		}
+	}
+	return false
+}

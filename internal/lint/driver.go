@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DefaultAnalyzers is the full rule family, in reporting-name order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		ChanSelect(),
+		CtxBackground(),
+		GlobalRand(),
+		MapIter(),
+		NakedGo(),
+		WallClock(),
+	}
+}
+
+// LoadPackage parses every non-test .go file directly in dir into one
+// Package. relPath becomes the package's module-relative path ("" for the
+// module root) and prefixes the file names recorded in positions, so
+// diagnostics print module-relative paths. Returns nil when the
+// directory holds no Go files.
+func LoadPackage(fset *token.FileSet, dir, relPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	pkg := &Package{Path: relPath}
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		posName := name
+		if relPath != "" {
+			posName = relPath + "/" + name
+		}
+		f, err := parser.ParseFile(fset, posName, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, NewFile(fset, f))
+	}
+	return pkg, nil
+}
+
+// LoadDir loads the package rooted at dir and, when recursive, every
+// package below it, skipping testdata, hidden and underscore-prefixed
+// directories (the same set the go tool ignores). root anchors the
+// module-relative paths recorded in positions and matched by the policy.
+func LoadDir(fset *token.FileSet, root, dir string, recursive bool) ([]*Package, error) {
+	var pkgs []*Package
+	load := func(d string) error {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		pkg, err := LoadPackage(fset, d, rel)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	}
+	if !recursive {
+		if err := load(dir); err != nil {
+			return nil, err
+		}
+		return pkgs, nil
+	}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		return load(path)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+// LoadModule loads every package of the module rooted at root.
+func LoadModule(fset *token.FileSet, root string) ([]*Package, error) {
+	return LoadDir(fset, root, root, true)
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// CheckModule is the one-call form the self-test and the CLI's ./...
+// path share: load the whole module, run the default analyzers under the
+// default policy.
+func CheckModule(root string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	pkgs, err := LoadModule(fset, root)
+	if err != nil {
+		return nil, err
+	}
+	return Run(pkgs, DefaultAnalyzers(), DefaultPolicy()), nil
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// randPaths are the stdlib RNG packages no code outside internal/rng may
+// touch: a math/rand top-level call draws from the shared global source,
+// and even a locally constructed rand.New(rand.NewSource(...)) bypasses
+// the SplitMix64 stream derivation that keeps sub-streams decorrelated.
+var randPaths = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// GlobalRand flags every reference to math/rand or math/rand/v2 —
+// top-level functions, rand.New/NewSource/NewPCG, type names — outside
+// internal/rng. All randomness must flow through rng.New / rng.Derive /
+// rng.DeriveString so one experiment seed reproduces the whole run.
+func GlobalRand() *Analyzer {
+	return &Analyzer{
+		Name: "globalrand",
+		Doc:  "math/rand use outside internal/rng; derive streams via internal/rng instead",
+		Run: func(pkg *Package, file *File, report func(pos token.Pos, format string, args ...any)) {
+			for _, imp := range file.AST.Imports {
+				if imp.Name != nil && imp.Name.Name == "." {
+					path := importPath(imp)
+					if randPaths[path] {
+						report(imp.Pos(), "dot import of %s: all randomness must derive from internal/rng seed streams", path)
+					}
+				}
+			}
+			ast.Inspect(file.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if path, ok := file.ImportedAs(x.Name); ok && randPaths[path] {
+					report(sel.Pos(), "use of %s.%s: all randomness must derive from internal/rng seed streams (rng.New / rng.Derive / rng.DeriveString)", x.Name, sel.Sel.Name)
+					return false
+				}
+				return true
+			})
+		},
+	}
+}
+
+func importPath(imp *ast.ImportSpec) string {
+	path := imp.Path.Value
+	if len(path) >= 2 {
+		path = path[1 : len(path)-1]
+	}
+	return path
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// writeCalls are method/function names whose appearance inside a map
+// range body means iteration order reaches an output stream.
+var writeCalls = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Fprintf":     true,
+	"Fprint":      true,
+	"Fprintln":    true,
+	"Printf":      true,
+	"Print":       true,
+	"Println":     true,
+}
+
+// MapIter flags `for ... range m` over a map in a deterministic package
+// when the loop body is order-dependent: it appends, sends on a channel,
+// writes to a stream, or returns a value derived from the iteration
+// variables (so *which* key wins depends on runtime map order). Sorting
+// the keys into a slice first, or folding into an order-independent
+// reduction (a set, a min/max), both pass.
+//
+// Map-ness is resolved syntactically: the ranged identifier must have a
+// visible declaration with a map type — a `make(map[...]...)` or map
+// literal assignment, a `var m map[...]...`, a map-typed parameter, or a
+// package-level map var. Anything the resolver cannot prove is left
+// alone, so the rule under-reports rather than false-positives.
+func MapIter() *Analyzer {
+	return &Analyzer{
+		Name: "mapiter",
+		Doc:  "order-dependent iteration over a map in a deterministic package; sort keys first",
+		Run: func(pkg *Package, file *File, report func(pos token.Pos, format string, args ...any)) {
+			var stack []ast.Node
+			ast.Inspect(file.AST, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				name, isMap := rangedMap(rs, stack, pkg)
+				if !isMap {
+					return true
+				}
+				if how, dependent := orderDependent(rs); dependent {
+					report(rs.Pos(), "range over map %s with an order-dependent body (%s): map iteration order is random — sort the keys first or make the fold order-independent", name, how)
+				}
+				return true
+			})
+		},
+	}
+}
+
+// rangedMap decides whether the range expression is provably a map, and
+// names it for the diagnostic.
+func rangedMap(rs *ast.RangeStmt, stack []ast.Node, pkg *Package) (string, bool) {
+	switch x := rs.X.(type) {
+	case *ast.Ident:
+		isMap, conflict := identMapEvidence(x.Name, stack, pkg)
+		return x.Name, isMap && !conflict
+	default:
+		if classifyExpr(rs.X) == evMap {
+			return "literal", true
+		}
+	}
+	return "", false
+}
+
+type evidence int
+
+const (
+	evUnknown evidence = iota
+	evMap
+	evNonMap
+)
+
+// identMapEvidence scans the enclosing functions and the package scope
+// for declarations of name and classifies them.
+func identMapEvidence(name string, stack []ast.Node, pkg *Package) (isMap, conflict bool) {
+	var sawMap, sawNonMap bool
+	note := func(e evidence) {
+		switch e {
+		case evMap:
+			sawMap = true
+		case evNonMap:
+			sawNonMap = true
+		}
+	}
+	for _, n := range stack {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			noteFuncType(fn.Type, name, note)
+			if fn.Recv != nil {
+				noteFields(fn.Recv, name, note)
+			}
+			if fn.Body != nil {
+				noteBodyDecls(fn.Body, name, note)
+			}
+		case *ast.FuncLit:
+			noteFuncType(fn.Type, name, note)
+			if fn.Body != nil {
+				noteBodyDecls(fn.Body, name, note)
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			noteValueSpecs(gd, name, note)
+		}
+	}
+	return sawMap, sawMap && sawNonMap
+}
+
+func noteFuncType(ft *ast.FuncType, name string, note func(evidence)) {
+	noteFields(ft.Params, name, note)
+	noteFields(ft.Results, name, note)
+}
+
+func noteFields(fl *ast.FieldList, name string, note func(evidence)) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		for _, id := range field.Names {
+			if id.Name != name {
+				continue
+			}
+			if _, ok := field.Type.(*ast.MapType); ok {
+				note(evMap)
+			} else {
+				note(evNonMap)
+			}
+		}
+	}
+}
+
+func noteBodyDecls(body *ast.BlockStmt, name string, note func(evidence)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != name {
+					continue
+				}
+				note(classifyExpr(st.Rhs[i]))
+			}
+		case *ast.GenDecl:
+			if st.Tok == token.VAR {
+				noteValueSpecs(st, name, note)
+			}
+		}
+		return true
+	})
+}
+
+func noteValueSpecs(gd *ast.GenDecl, name string, note func(evidence)) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, id := range vs.Names {
+			if id.Name != name {
+				continue
+			}
+			if vs.Type != nil {
+				if _, ok := vs.Type.(*ast.MapType); ok {
+					note(evMap)
+				} else {
+					note(evNonMap)
+				}
+			} else if len(vs.Values) == len(vs.Names) {
+				note(classifyExpr(vs.Values[i]))
+			}
+		}
+	}
+}
+
+// classifyExpr decides whether an initializer expression is certainly a
+// map, certainly not one, or unknown (method calls, multi-returns, ...).
+func classifyExpr(e ast.Expr) evidence {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			if _, ok := v.Args[0].(*ast.MapType); ok {
+				return evMap
+			}
+			return evNonMap
+		}
+	case *ast.CompositeLit:
+		if v.Type == nil {
+			return evUnknown
+		}
+		if _, ok := v.Type.(*ast.MapType); ok {
+			return evMap
+		}
+		return evNonMap
+	}
+	return evUnknown
+}
+
+// orderDependent reports whether the range body lets iteration order
+// escape: appends, channel sends, stream writes, or returns derived from
+// the iteration variables.
+func orderDependent(rs *ast.RangeStmt) (string, bool) {
+	loopVars := map[string]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			loopVars[id.Name] = true
+		}
+	}
+	how, found := "", false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			how, found = "channel send", true
+		case *ast.CallExpr:
+			switch fun := st.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" {
+					how, found = "append", true
+				}
+			case *ast.SelectorExpr:
+				if writeCalls[fun.Sel.Name] {
+					how, found = "write via "+fun.Sel.Name, true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if usesIdent(res, loopVars) {
+					how, found = "return depends on which key iterates first", true
+					break
+				}
+			}
+		}
+		return !found
+	})
+	return how, found
+}
+
+func usesIdent(e ast.Expr, names map[string]bool) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,28 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NakedGo flags `go` statements. Library concurrency must ride
+// experiments.Pool / experiments.ForEachIndexed / ga.FanOut: the pool
+// merges results by index so output is byte-identical at any worker
+// count, and its bound is the one knob capping process concurrency. A
+// naked goroutine has neither property. The request plane — the worker
+// pool itself, the serving/cluster layers, process entry points — is
+// package-allowlisted in the policy table.
+func NakedGo() *Analyzer {
+	return &Analyzer{
+		Name: "nakedgo",
+		Doc:  "go statement outside the pool/serving layers; ride experiments.Pool or ga.FanOut",
+		Run: func(pkg *Package, file *File, report func(pos token.Pos, format string, args ...any)) {
+			ast.Inspect(file.AST, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					report(g.Pos(), "naked go statement: library concurrency rides experiments.Pool/ForEachIndexed (or ga.FanOut), which merge by index and bound workers")
+				}
+				return true
+			})
+		},
+	}
+}

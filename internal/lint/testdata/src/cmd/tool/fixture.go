@@ -1,0 +1,27 @@
+// Package main is a wmnlint fixture standing in for a cmd/ entry point:
+// nakedgo is allowlisted (process entry points spawn servers), wallclock
+// is not — CLI timing carries per-line waivers — and ctxbackground stays
+// module-wide.
+package main
+
+import (
+	"context"
+	"time"
+)
+
+func main() {
+	go serve() // nakedgo allowlisted for cmd: no finding
+}
+
+func serve() {}
+
+func timed() time.Duration {
+	start := time.Now() //wmnlint:allow wallclock — fixture: CLI elapsed-time report
+	serve()
+	return time.Since(start) // want `\[wallclock\] wall-clock read time\.Since`
+}
+
+func severed(ctx context.Context) {
+	_ = ctx
+	_ = context.Background() // want `\[ctxbackground\] context\.Background\(\)`
+}

@@ -1,0 +1,120 @@
+// Package ga is a wmnlint fixture standing in for the deterministic GA
+// package: every rule in the family is active here, and the want
+// comments pin each rule's hit, miss and waiver behavior.
+package ga
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func draw() int {
+	return rand.Int() // want `\[globalrand\] use of rand\.Int`
+}
+
+func seeded() *rand.Rand { // want `\[globalrand\] use of rand\.Rand` — even the type: call sites use the rng.Rand alias
+	return rand.New(rand.NewSource(7)) // want `\[globalrand\] use of rand\.New` `\[globalrand\] use of rand\.NewSource`
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `\[wallclock\] wall-clock read time\.Now`
+}
+
+func backoff() {
+	time.Sleep(time.Millisecond) // want `\[wallclock\] wall-clock read time\.Sleep`
+}
+
+func duration() time.Duration {
+	return 3 * time.Millisecond // representing durations is fine; measuring them is not
+}
+
+func waived() {
+	time.Sleep(time.Millisecond) //wmnlint:allow wallclock — fixture: a reasoned waiver suppresses the finding
+}
+
+func unreasoned() {
+	time.Sleep(time.Millisecond) //wmnlint:allow wallclock // want `\[badwaiver\] waiver has no reason` `\[wallclock\] wall-clock read time\.Sleep`
+}
+
+func misspelled() {
+	time.Sleep(time.Millisecond) //wmnlint:allow wallcluck — typo // want `\[badwaiver\] waiver names unknown rule "wallcluck"` `\[wallclock\] wall-clock read time\.Sleep`
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `\[mapiter\] range over map m with an order-dependent body \(append\)`
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // an order-independent fold: no finding
+		total += v
+	}
+	return total
+}
+
+func firstBad(m map[string]string) error {
+	for k := range m { // want `\[mapiter\].*return depends on which key iterates first`
+		if k != "ok" {
+			return errors.New(k)
+		}
+	}
+	return nil
+}
+
+func localMap() []int {
+	m := make(map[int]int)
+	m[1] = 2
+	var out []int
+	for k := range m { // want `\[mapiter\] range over map m`
+		out = append(out, k)
+	}
+	return out
+}
+
+func notAMap() []int {
+	s := make([]int, 3)
+	var out []int
+	for i := range s { // a slice: no finding
+		out = append(out, i)
+	}
+	return out
+}
+
+func race(a, b chan int) int {
+	select { // want `\[chanselect\] select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func poll(a chan int) (int, bool) {
+	select { // one case plus default is a deterministic poll: no finding
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func spawn() {
+	go stamp() // want `\[nakedgo\] naked go statement`
+}
+
+func severed(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() // want `\[ctxbackground\] context\.Background\(\)`
+}
+
+func legitimateRoot() context.Context {
+	return context.Background() // no ctx parameter in scope: this is a root
+}

@@ -1,0 +1,37 @@
+// Package geom is a wmnlint fixture for import-alias resolution and
+// above-line waivers: rules must attribute selectors through renamed
+// imports, and a directive on its own line covers the line below.
+package geom
+
+import (
+	mrand "math/rand/v2"
+	clock "time"
+)
+
+func aliasedRand() int {
+	return mrand.Int() // want `\[globalrand\] use of mrand\.Int`
+}
+
+func aliasedClock() int64 {
+	return clock.Now().UnixNano() // want `\[wallclock\] wall-clock read time\.Now`
+}
+
+func waivedAbove() {
+	//wmnlint:allow wallclock — fixture: a directive on its own line covers the next line
+	clock.Sleep(clock.Millisecond)
+}
+
+func streamed(m map[string]bool, out chan<- string) {
+	for k := range m { // want `\[mapiter\].*channel send`
+		out <- k
+	}
+}
+
+func declared() int {
+	var m map[string]int
+	n := 0
+	for range m { // order-independent count: no finding
+		n++
+	}
+	return n
+}

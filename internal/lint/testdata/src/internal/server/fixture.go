@@ -1,0 +1,52 @@
+// Package server is a wmnlint fixture standing in for the serving layer:
+// the policy table disables wallclock and nakedgo here (telemetry and
+// request-plane goroutines are its business) and mapiter/chanselect are
+// deterministic-only, but globalrand and ctxbackground stay module-wide.
+package server
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+func telemetry() time.Time {
+	return time.Now() // wallclock allowlisted for internal/server: no finding
+}
+
+func flush() {
+	go telemetry() // nakedgo allowlisted for internal/server: no finding
+}
+
+func ranged(m map[string]int) []string {
+	var out []string
+	for k := range m { // mapiter is deterministic-only: no finding here
+		out = append(out, k)
+	}
+	return out
+}
+
+func fanIn(a, b chan int) int {
+	select { // chanselect is deterministic-only: no finding here
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func severed(ctx context.Context) context.Context {
+	_ = ctx
+	return context.TODO() // want `\[ctxbackground\] context\.TODO\(\)`
+}
+
+func nested(ctx context.Context) func() context.Context {
+	_ = ctx
+	return func() context.Context {
+		return context.Background() // want `\[ctxbackground\] context\.Background\(\)`
+	}
+}
+
+func jitter() int {
+	return rand.Intn(10) // want `\[globalrand\] use of rand\.Intn`
+}

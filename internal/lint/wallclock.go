@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// wallClockFuncs are the time functions that read or wait on the wall
+// clock. Pure values and arithmetic (time.Duration, time.Millisecond,
+// d.Round(...)) are untouched — a deterministic package may *represent*
+// durations, it may not *measure* them.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// WallClock flags wall-clock reads (time.Now/Since/Until/Sleep/After and
+// the timer/ticker constructors). Solver output must be a function of
+// (instance, spec, seed) alone; a wall-clock read on that path makes the
+// result machine- and load-dependent. The serving layer's telemetry is
+// package-allowlisted in the policy table; one-off legitimate sites
+// (injectable clocks defaulting to time.Now) carry line waivers.
+func WallClock() *Analyzer {
+	return &Analyzer{
+		Name: "wallclock",
+		Doc:  "wall-clock read (time.Now/Since/Sleep/After/...); inject a clock or keep timing off deterministic paths",
+		Run: func(pkg *Package, file *File, report func(pos token.Pos, format string, args ...any)) {
+			ast.Inspect(file.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := pkgSelector(file, sel, "time"); ok && wallClockFuncs[name] {
+					report(sel.Pos(), "wall-clock read time.%s: deterministic paths must not observe wall time (inject a clock, or waive with a reason)", name)
+					return false
+				}
+				return true
+			})
+		},
+	}
+}

@@ -43,6 +43,13 @@ type SuiteConfig struct {
 	Pool *experiments.Pool
 	// Eval configures the objective; the zero value is the paper's model.
 	Eval wmn.EvalOptions
+	// Clock stamps each cell's advisory Runtime field; nil defaults to
+	// the wall clock. Runtime is the only column Fingerprint excludes, so
+	// the deterministic report is provably wall-clock-free: nothing else
+	// in this package may read time (enforced by wmnlint's wallclock
+	// rule), and tests inject a fixed clock to pin that the fingerprint
+	// is identical with no clock at all.
+	Clock func() time.Time
 }
 
 // Result is one (scenario, solver) cell of the suite report. All fields
@@ -83,6 +90,10 @@ func RunSuite(scs []Scenario, solvers []NamedSolver, cfg SuiteConfig) (*Report, 
 	}
 	if len(solvers) == 0 {
 		return nil, fmt.Errorf("scenarios: suite needs at least one solver")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now //wmnlint:allow wallclock — Runtime stamps only; every Fingerprint-pinned column is clock-free
 	}
 	// Both phases honor cfg.Pool: a caller sharing the process-wide pool
 	// must get its concurrency bound for generation too, not just solves.
@@ -125,7 +136,7 @@ func RunSuite(scs []Scenario, solvers []NamedSolver, cfg SuiteConfig) (*Report, 
 		si, vi := i/len(solvers), i%len(solvers)
 		sc, sv := scs[si], solvers[vi]
 		runSeed := rng.DeriveString(cfg.Seed, "scenarios/suite/"+sc.Name+"/"+sv.Name).Uint64()
-		start := time.Now()
+		start := clock()
 		sol, metrics, err := sv.Solver.Solve(context.Background(), evals[si], runSeed)
 		if err != nil {
 			return fmt.Errorf("scenarios: %s × %s: %w", sc.Name, sv.Name, err)
@@ -142,7 +153,7 @@ func RunSuite(scs []Scenario, solvers []NamedSolver, cfg SuiteConfig) (*Report, 
 			Metrics:      metrics,
 			Connectivity: float64(metrics.GiantSize) / float64(in.NumRouters()),
 			Coverage:     float64(metrics.Covered) / float64(max(in.NumClients(), 1)),
-			Runtime:      time.Since(start),
+			Runtime:      clock().Sub(start),
 		}
 		return nil
 	}

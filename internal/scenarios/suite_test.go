@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"meshplace/internal/experiments"
 	"meshplace/internal/scenarios"
@@ -68,6 +69,27 @@ func TestSuiteWorkerInvariance(t *testing.T) {
 		if a != b {
 			t.Fatalf("cell %d differs across worker counts:\n1: %+v\n8: %+v", i, serial.Results[i], parallel.Results[i])
 		}
+	}
+}
+
+// TestSuiteInjectedClock runs the suite under a frozen injected clock and
+// demands (a) every Runtime stamp is exactly zero — proof the stamps flow
+// through SuiteConfig.Clock and nothing else in the cell path reads wall
+// time — and (b) the fingerprint matches a default-clock run bit for bit,
+// so the deterministic columns are independent of the clock entirely.
+// Together with wmnlint's wallclock rule (which bans stray time reads in
+// this package) this pins the Fingerprint path as wall-clock-free.
+func TestSuiteInjectedClock(t *testing.T) {
+	epoch := time.Unix(1234567890, 0)
+	frozen := runQuickSuite(t, scenarios.SuiteConfig{Seed: 7, Workers: 2, Clock: func() time.Time { return epoch }})
+	for i, cell := range frozen.Results {
+		if cell.Runtime != 0 {
+			t.Fatalf("cell %d Runtime = %v under a frozen clock; a wall-clock read slipped past the injected clock", i, cell.Runtime)
+		}
+	}
+	wall := runQuickSuite(t, scenarios.SuiteConfig{Seed: 7, Workers: 2})
+	if got, want := frozen.Fingerprint(), wall.Fingerprint(); got != want {
+		t.Fatalf("frozen-clock fingerprint %s differs from wall-clock %s", got, want)
 	}
 }
 

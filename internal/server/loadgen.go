@@ -191,10 +191,22 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenReport, error) {
 		if cfg.RPS > 0 {
 			interval = time.Duration(float64(time.Second) / cfg.RPS)
 		}
-		deadline := start.Add(cfg.Duration)
+		// Duration-bounded runs used to call time.Now per ticket to test
+		// the deadline; polling a timer channel with a non-blocking select
+		// keeps the hot loop free of per-request clock syscalls.
+		var expired <-chan time.Time
+		if cfg.Requests <= 0 {
+			timer := time.NewTimer(cfg.Duration)
+			defer timer.Stop()
+			expired = timer.C
+		}
 		for i := 0; cfg.Requests <= 0 || i < cfg.Requests; i++ {
-			if cfg.Requests <= 0 && !time.Now().Before(deadline) {
-				return
+			if expired != nil {
+				select {
+				case <-expired:
+					return
+				default:
+				}
 			}
 			tickets <- i
 			if interval > 0 {

@@ -163,6 +163,43 @@ func TestLoadgenDurationBound(t *testing.T) {
 	}
 }
 
+// TestLoadgenDurationAccounting pins the duration-bounded pacer after the
+// per-ticket time.Now hoist (the deadline is now a timer channel polled
+// with a non-blocking select): the closed-loop run still terminates at
+// the deadline, runs at least as long as the bound, and every issued
+// request lands in exactly one accounting bucket, agreeing with the
+// server's own request counter.
+func TestLoadgenDurationAccounting(t *testing.T) {
+	const bound = 120 * time.Millisecond
+	_, ts := startLoadTarget(t, Config{CacheSize: 8, BatchMaxWait: time.Millisecond})
+	report, err := RunLoadgen(LoadgenConfig{
+		BaseURL:     ts.URL,
+		Spec:        mustParseSpec(t, "adhoc"),
+		Instance:    testInstance(t),
+		Duration:    bound,
+		Concurrency: 4,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 {
+		t.Fatal("closed-loop duration run issued no requests")
+	}
+	if report.DurationNs < int64(bound) {
+		t.Errorf("run lasted %dns, shorter than the %dns bound", report.DurationNs, int64(bound))
+	}
+	paths := report.Hits + report.StoreHits + report.DedupWaits + report.Misses
+	if report.Requests != paths+report.Errors {
+		t.Errorf("accounting leak: %d requests != %d path-counted + %d errors",
+			report.Requests, paths, report.Errors)
+	}
+	if int(report.Server.Requests) != report.Requests-report.Errors {
+		t.Errorf("server saw %d requests, client succeeded %d",
+			report.Server.Requests, report.Requests-report.Errors)
+	}
+}
+
 // TestLoadgenRoundRobinTargets spreads a multi-target run across two
 // servers: the ticket index picks the target, so an even request count
 // splits exactly in half, and the report carries one snapshot per target.
