@@ -9,7 +9,21 @@ BENCH_OUT ?= BENCH_PR9.json
 # Committed baseline the regression check diffs against.
 BENCH_BASELINE ?= BENCH_PR8.json
 
-.PHONY: ci vet lint build test race bench benchdiff fmt-check fuzz-smoke
+# Checked-in experiment snapshot (README embeds its tables). `make paper`
+# regenerates it in place; `make paper-check` re-runs the snapshot's
+# manifest and fails on any byte of drift.
+PAPER_DIR ?= runs/paper
+PAPER_SEED ?= 42
+PAPER_REPS ?= 3
+
+# Smoke grid: 2 scenarios × 2 solvers × 1 rep, small enough for every CI
+# run.
+PAPER_SMOKE_ARGS = -seed 1 -reps 1 \
+	-scenarios v1-half-uniform,v1-half-normal \
+	-specs "adhoc;search:phases=10,neighbors=2"
+
+.PHONY: ci vet lint build test race bench benchdiff fmt-check fuzz-smoke \
+	paper paper-check paper-smoke
 
 ci: vet lint build race
 
@@ -70,8 +84,32 @@ benchdiff:
 		-ratio 'BenchmarkServeBatched/batched,BenchmarkServeBatched/unbatched' \
 		-ratio 'BenchmarkIncrementalVsFull/10x/incremental,BenchmarkIncrementalVsFull/10x/full,0.5'
 
-# Source formatting check (CI fails on drift; gofmt -l prints offenders).
-fmt-check:
+# Regenerate the documented experiment snapshot. Deterministic: the same
+# seed writes the same bytes at any -workers value on any machine.
+paper:
+	$(GO) run ./cmd/wmnplace paper -out $(PAPER_DIR) -seed $(PAPER_SEED) -reps $(PAPER_REPS)
+
+# Re-run the snapshot's manifest and fail if any artifact drifts — the
+# gate that keeps README's embedded tables matching what the code
+# actually computes.
+paper-check:
+	$(GO) run ./cmd/wmnplace paper -check $(PAPER_DIR)
+
+# Reproducibility smoke: the same small grid run twice must emit
+# byte-identical CSV, markdown and manifest (fingerprint included).
+paper-smoke:
+	rm -rf .paper-smoke
+	$(GO) run ./cmd/wmnplace paper -out .paper-smoke/a $(PAPER_SMOKE_ARGS)
+	$(GO) run ./cmd/wmnplace paper -out .paper-smoke/b $(PAPER_SMOKE_ARGS)
+	cmp .paper-smoke/a/results.csv .paper-smoke/b/results.csv
+	cmp .paper-smoke/a/results.md .paper-smoke/b/results.md
+	cmp .paper-smoke/a/manifest.json .paper-smoke/b/manifest.json
+	$(GO) run ./cmd/wmnplace paper -check .paper-smoke/a
+	rm -rf .paper-smoke
+
+# Source formatting check plus snapshot drift (CI fails on either;
+# gofmt -l prints offenders, paper-check re-runs the snapshot manifest).
+fmt-check: paper-check
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \

@@ -100,8 +100,8 @@ func runExperiment(args []string) error {
 			}
 		}
 		if *checks {
-			violations += report(study.CheckTableShape())
-			violations += report(study.CheckFigureShape())
+			violations += reportViolations(study.CheckTableShape())
+			violations += reportViolations(study.CheckFigureShape())
 		}
 	}
 
@@ -118,7 +118,7 @@ func runExperiment(args []string) error {
 			return err
 		}
 		if *checks {
-			violations += report(cmp.CheckShape())
+			violations += reportViolations(cmp.CheckShape())
 		}
 	}
 
@@ -131,7 +131,7 @@ func runExperiment(args []string) error {
 	return nil
 }
 
-func report(violations []string) int {
+func reportViolations(violations []string) int {
 	for _, v := range violations {
 		fmt.Println("SHAPE VIOLATION:", v)
 	}

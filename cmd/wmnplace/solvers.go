@@ -1,0 +1,36 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"meshplace/internal/server"
+)
+
+// runSolvers prints the solver-backend catalog: every kind registered
+// through server.RegisterBackend — built-ins and plugins such as the
+// cluster's remote proxy alike — with its parameter schema and canonical
+// default spec. The same catalog is served by GET /v1/solvers.
+func runSolvers(args []string) error {
+	fs := flag.NewFlagSet("solvers", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "print the catalog as JSON (the GET /v1/solvers payload)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	catalog := server.Catalog()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(catalog)
+	}
+	fmt.Printf("%d solver kinds registered (spec syntax: kind:key=value,...)\n", len(catalog))
+	for _, info := range catalog {
+		fmt.Printf("\n%s — %s\n  default: %s\n", info.Kind, info.Doc, info.Spec)
+		for _, p := range info.Params {
+			fmt.Printf("  %-14s %s (default %q)\n", p.Key, p.Doc, p.Default)
+		}
+	}
+	return nil
+}

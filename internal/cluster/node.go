@@ -196,12 +196,17 @@ func apiKey(r *http.Request) string {
 // handleSolve is the cluster front door of POST /v1/solve: charge the
 // key's quota, resolve the instance, and route the request to the replica
 // owning its hash — locally when that is this replica (or the request was
-// already forwarded once), by forwarding otherwise.
+// already forwarded once), by forwarding otherwise. Remote-backend solves
+// get special treatment (see the remote-kind guards below): they execute
+// on the replica the client hit, never forward, and may not target the
+// replica executing them.
 func (n *Node) handleSolve(w http.ResponseWriter, r *http.Request) {
 	forwarded := r.Header.Get(forwardedHeader) != ""
-	if n.quota != nil && !forwarded {
+	remoteOrigin := r.Header.Get(remoteOriginHeader) != ""
+	if n.quota != nil && !forwarded && !remoteOrigin {
 		// Quota is charged once, at the replica the client hit; forwarded
-		// requests were already charged there.
+		// requests were already charged there, and remote-originated ones
+		// were charged when their outer request entered the cluster.
 		if ok, retry := n.quota.allow(apiKey(r)); !ok {
 			secs := int(retry/time.Second) + 1
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
@@ -217,10 +222,41 @@ func (n *Node) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	var req server.SolveRequest
+	parsed := decodeSolveRequest(body, &req)
+
+	// The remote-kind loop guards. A remote solve occupies a solve worker
+	// here while it waits on the target, so the target must be a different
+	// replica: executing "remote:url=self" would have this replica block
+	// one of its own workers on a request that needs another — recursion
+	// at best, a wedged pool at worst — hence the 400. And a request a
+	// remote backend itself dispatched may not carry another remote spec,
+	// bounding every chain to one hop even across replicas.
+	if parsed && req.Solver.Kind() == "remote" {
+		if remoteOrigin {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "remote-originated request carries a remote solver spec; remote backends do not chain"})
+			return
+		}
+		if sameReplicaURL(req.Solver.Param("url"), n.self) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("remote backend targets its own replica %s; point it at a peer", n.self)})
+			return
+		}
+	}
+
 	owner := n.self
-	if !forwarded && len(n.ring.Peers()) > 1 {
-		if hash, ok := n.routeKey(body); ok {
-			owner = n.ring.Owner(hash)
+	if !forwarded && !remoteOrigin && len(n.ring.Peers()) > 1 && (!parsed || req.Solver.Kind() != "remote") {
+		// Remote solves skip hash routing: the real computation happens at
+		// the target replica, so forwarding the proxy shell would add a hop
+		// — and forwarding it to its own target would recreate the
+		// self-target deadlock the guard above rejects. Remote-originated
+		// requests answer locally for the same reason: the dispatching
+		// backend chose this replica deliberately.
+		if parsed {
+			if hash, ok := n.routeKey(&req); ok {
+				owner = n.ring.Owner(hash)
+			}
 		}
 		// Requests the serving layer will reject (malformed JSON, invalid
 		// instance) fall through with owner == self: the local server
@@ -236,22 +272,32 @@ func (n *Node) handleSolve(w http.ResponseWriter, r *http.Request) {
 	n.forward(w, r, owner, "POST", "/v1/solve", body)
 }
 
+// decodeSolveRequest strictly decodes a front-door body; failures are left
+// for the serving layer to diagnose.
+func decodeSolveRequest(body []byte, req *server.SolveRequest) bool {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	return dec.Decode(req) == nil
+}
+
 // routeKey resolves and hashes the request's instance — the key replicas
 // shard on. Generated instances route by their generator config, embedded
 // ones by their content, so identical requests land on the same replica
 // no matter which replica the client hit.
-func (n *Node) routeKey(body []byte) (string, bool) {
-	var req server.SolveRequest
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return "", false
-	}
-	in, err := n.srv.ResolveInstance(&req)
+func (n *Node) routeKey(req *server.SolveRequest) (string, bool) {
+	in, err := n.srv.ResolveInstance(req)
 	if err != nil {
 		return "", false
 	}
 	return server.HashInstance(in), true
+}
+
+// sameReplicaURL reports whether a remote backend's target names this
+// replica's own base URL (modulo trailing slashes). Aliases that resolve
+// to the same listener can evade a string comparison; the one-hop bound
+// enforced via remoteOriginHeader keeps even those from recursing.
+func sameReplicaURL(target, self string) bool {
+	return strings.TrimRight(target, "/") == strings.TrimRight(self, "/")
 }
 
 // ownerOfJob maps a job ID back to the replica that issued it via the

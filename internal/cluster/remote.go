@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"meshplace/internal/server"
+	"meshplace/internal/wmn"
+)
+
+// The remote solver backend: a registry kind that proxies an inner spec to
+// another replica's POST /v1/solve, so a replica set doubles as a solver
+// farm. It registers through the same server.RegisterBackend seam as the
+// built-in kinds — the cross-package plugin the registry was opened for —
+// and rides the cluster's existing machinery: the proxied request is a
+// plain sync solve, so the target's quota, deadline, cache, journal and
+// batching behavior all apply unchanged. The result bytes come back
+// verbatim from the canonical payload, so solving "remote:url=B,spec=X"
+// anywhere returns the same solution, metrics, evaluation counts and
+// anytime curve as solving X at B (only the payload's own solver label
+// differs).
+
+// remoteOriginHeader marks a request issued by a remote backend. The
+// cluster front door treats it like a forwarded request (answer locally,
+// no quota — the outer request was already charged at its entry replica)
+// and refuses remote-kind specs carrying it, bounding remote chains to one
+// hop. Like the forwarded header, it is trusted: replicas and their
+// clients share one trust domain.
+const remoteOriginHeader = "X-Meshplace-Remote"
+
+// remoteClient issues proxied solves. The generous timeout is a liveness
+// backstop for targets that never answer (the proxied solve itself is
+// bounded by the caller's deadline when one is set).
+var remoteClient = &http.Client{Timeout: 10 * time.Minute}
+
+// remoteDeadlineGrace is how much longer than the forwarded deadline the
+// backend waits for the target's response: a deadline-truncated remote
+// solve answers with its incumbent at the deadline, and that response
+// still has to cross the network.
+const remoteDeadlineGrace = 2 * time.Second
+
+func init() {
+	server.RegisterBackend("remote", server.BackendFactory{
+		Doc: "proxy backend forwarding the inner spec to another replica's POST /v1/solve (same bytes as solving it there)",
+		// The bare kind has no runnable default — url is empty until the
+		// caller supplies a target — so the kind stays out of suite sweeps.
+		ExcludeFromSuite: true,
+		Params: []server.BackendParam{
+			{Key: "url", Default: "", Doc: "target replica base URL, e.g. http://10.0.0.3:8080 (required)", Check: remoteURLParam},
+			{Key: "spec", Default: "search", Doc: `inner solver spec run at the target, with ";" in place of "," (may not itself be remote)`, Check: remoteSpecParam},
+		},
+		New: buildRemote,
+	})
+}
+
+// remoteURLParam accepts the target base URL. Empty is allowed at parse
+// time (so the bare kind parses for catalogs); buildRemote rejects it.
+// Non-empty values must be absolute http(s) URLs free of the spec
+// grammar's structural characters.
+func remoteURLParam(raw string) (string, error) {
+	base := strings.TrimRight(strings.TrimSpace(raw), "/")
+	if base == "" {
+		return "", nil
+	}
+	if strings.ContainsAny(base, ",|; \t") {
+		return "", fmt.Errorf("url %q contains spec-grammar characters", raw)
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return "", fmt.Errorf("url %q does not parse: %v", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("url %q is not an absolute http(s) URL", raw)
+	}
+	return base, nil
+}
+
+// remoteSpecParam canonicalizes the inner spec, which uses ";" where a
+// top-level spec uses "," (the outer grammar owns ","), exactly like
+// portfolio members. Remote specs do not nest: one hop reaches the
+// replica that computes, and a chain would only add failure modes.
+func remoteSpecParam(raw string) (string, error) {
+	spec, err := server.ParseSpec(strings.ReplaceAll(strings.TrimSpace(raw), ";", ","))
+	if err != nil {
+		return "", err
+	}
+	if spec.Kind() == "remote" {
+		return "", errors.New("remote backends do not chain (inner spec may not be remote)")
+	}
+	return strings.ReplaceAll(spec.String(), ",", ";"), nil
+}
+
+// buildRemote turns a parsed remote spec into the proxying solve.
+func buildRemote(spec server.Spec) (server.BackendSolve, error) {
+	base := spec.Param("url")
+	if base == "" {
+		return nil, errors.New("url parameter is required (the target replica's base URL)")
+	}
+	inner, err := server.ParseSpec(strings.ReplaceAll(spec.Param("spec"), ";", ","))
+	if err != nil {
+		// remoteSpecParam canonicalized the value; failure here is a
+		// registry bug, not an input error.
+		panic(fmt.Sprintf("cluster: remote spec %s is not canonical: %v", spec, err))
+	}
+	return func(ctx context.Context, eval *wmn.Evaluator, seed uint64, _ server.BackendHooks) (server.BackendResult, error) {
+		req := server.SolveRequest{Solver: inner, Seed: seed, Instance: eval.Instance(), Mode: "sync"}
+		call := ctx
+		if dl, ok := ctx.Deadline(); ok {
+			// Forward the remaining budget so the target truncates at its
+			// own phase boundary and answers with the incumbent; the call
+			// context gets a grace window past the deadline so that answer
+			// is not cancelled on the wire.
+			//wmnlint:allow wallclock — remaining-deadline budget forwarded to the target; it picks which phase boundary a truncated run stops at, never the bytes of an untruncated solve
+			ms := int64(time.Until(dl) / time.Millisecond)
+			if ms < 1 {
+				ms = 1
+			}
+			req.DeadlineMs = ms
+			var cancel context.CancelFunc
+			call, cancel = context.WithDeadline(context.WithoutCancel(ctx), dl.Add(remoteDeadlineGrace))
+			defer cancel()
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return server.BackendResult{}, fmt.Errorf("remote: encode request: %w", err)
+		}
+		hreq, err := http.NewRequestWithContext(call, http.MethodPost, base+"/v1/solve", bytes.NewReader(body))
+		if err != nil {
+			return server.BackendResult{}, fmt.Errorf("remote: %w", err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set(remoteOriginHeader, "1")
+		resp, err := remoteClient.Do(hreq)
+		if err != nil {
+			return server.BackendResult{}, fmt.Errorf("remote %s: %w", base, err)
+		}
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		if err != nil {
+			return server.BackendResult{}, fmt.Errorf("remote %s: read response: %w", base, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			var eb struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(payload, &eb) == nil && eb.Error != "" {
+				return server.BackendResult{}, fmt.Errorf("remote %s: %s (status %d)", base, eb.Error, resp.StatusCode)
+			}
+			return server.BackendResult{}, fmt.Errorf("remote %s: status %d", base, resp.StatusCode)
+		}
+		var env server.SolveResponse
+		if err := json.Unmarshal(payload, &env); err != nil {
+			return server.BackendResult{}, fmt.Errorf("remote %s: decode response: %w", base, err)
+		}
+		var res server.SolveResult
+		if err := json.Unmarshal(env.Result, &res); err != nil {
+			return server.BackendResult{}, fmt.Errorf("remote %s: decode result: %w", base, err)
+		}
+		// The target's payload is the canonical deterministic document for
+		// (instance, inner spec, seed): hand its curve and truncation flag
+		// to the wrapper verbatim instead of re-deriving a local curve.
+		return server.BackendResult{
+			Solution:    res.Solution,
+			Metrics:     res.Metrics,
+			Evaluations: res.Evaluations,
+			Anytime:     res.Anytime,
+			Portfolio:   res.Portfolio,
+			Truncated:   res.Truncated,
+		}, nil
+	}, nil
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"meshplace/internal/server"
+)
+
+// resultTail strips the leading solver label from a SolveResult payload:
+// "solver" is the first JSON field and the only part of the canonical
+// document that legitimately differs between solving an inner spec
+// directly and solving it through the remote proxy. Everything from
+// `,"seed"` on must match byte for byte.
+func resultTail(t *testing.T, payload string) string {
+	t.Helper()
+	i := strings.Index(payload, `,"seed"`)
+	if i < 0 {
+		t.Fatalf("payload carries no seed field: %s", payload)
+	}
+	return payload[i:]
+}
+
+// TestRemoteSolveByteIdentity is the acceptance test of the remote
+// backend: a remote: spec solved through a two-replica cluster returns
+// bytes identical — modulo the solver label — to solving the inner spec
+// locally at the target.
+func TestRemoteSolveByteIdentity(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	in := clusterInstance(t, 9)
+	const inner = "search:phases=20,neighbors=4"
+	const seed = 7
+
+	// The inner spec solved directly (entry replica B forwards by hash as
+	// usual; the payload is canonical wherever it computes).
+	directBody := solveReqBody(t, in, inner, seed, "sync")
+	resp, direct := postJSON(t, c.urls[1]+"/v1/solve", directBody, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct solve = %d (%s)", resp.StatusCode, direct)
+	}
+
+	// The same spec proxied: replica A runs the remote backend, which
+	// posts the inner solve to replica B.
+	remoteSpec := "remote:url=" + c.urls[1] + ",spec=" + strings.ReplaceAll(inner, ",", ";")
+	remoteBody := solveReqBody(t, in, remoteSpec, seed, "sync")
+	resp2, proxied := postJSON(t, c.urls[0]+"/v1/solve", remoteBody, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("remote solve = %d (%s)", resp2.StatusCode, proxied)
+	}
+	// The proxy shell must execute where the client sent it, not forward.
+	if got := resp2.Header.Get("X-Served-By"); got != "" && got != c.urls[0] {
+		t.Errorf("remote solve X-Served-By = %q, want local execution on %q", got, c.urls[0])
+	}
+
+	var directEnv, proxiedEnv server.SolveResponse
+	if err := json.Unmarshal([]byte(direct), &directEnv); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(proxied), &proxiedEnv); err != nil {
+		t.Fatal(err)
+	}
+	dTail, pTail := resultTail(t, string(directEnv.Result)), resultTail(t, string(proxiedEnv.Result))
+	if dTail != pTail {
+		t.Errorf("remote payload differs from the direct one past the solver label:\ndirect: %s\nremote: %s", dTail, pTail)
+	}
+	var pr server.SolveResult
+	if err := json.Unmarshal(proxiedEnv.Result, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Solver.Kind() != "remote" {
+		t.Errorf("proxied payload labeled %q, want the remote spec", pr.Solver)
+	}
+}
+
+// TestRemoteSelfTargetRejected pins the deadlock guard: a remote spec
+// whose target is the replica asked to execute it is refused up front —
+// running it would park a solve worker on a request that needs another
+// worker from the same pool.
+func TestRemoteSelfTargetRejected(t *testing.T) {
+	c := newTestCluster(t, 1, nil)
+	in := clusterInstance(t, 3)
+	for _, target := range []string{c.urls[0], c.urls[0] + "/"} {
+		body := solveReqBody(t, in, "remote:url="+target, 1, "sync")
+		resp, b := postJSON(t, c.urls[0]+"/v1/solve", body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("self-target %q = %d (%s), want 400", target, resp.StatusCode, b)
+		}
+		if !strings.Contains(b, "own replica") {
+			t.Errorf("self-target error does not name the loop: %s", b)
+		}
+	}
+}
+
+// TestRemoteChainRejected pins the one-hop bound: a request a remote
+// backend already dispatched (marked by its origin header) may not carry
+// another remote spec.
+func TestRemoteChainRejected(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	in := clusterInstance(t, 3)
+	body := solveReqBody(t, in, "remote:url="+c.urls[1], 1, "sync")
+	resp, b := postJSON(t, c.urls[0]+"/v1/solve", body, map[string]string{remoteOriginHeader: "1"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("chained remote = %d (%s), want 400", resp.StatusCode, b)
+	}
+	if !strings.Contains(b, "do not chain") {
+		t.Errorf("chain error does not explain the bound: %s", b)
+	}
+}
+
+// TestRemoteSpecValidation covers the parse-time guards: the inner spec
+// may not itself be remote, and a target URL must be absolute http(s)
+// free of spec-grammar characters.
+func TestRemoteSpecValidation(t *testing.T) {
+	for _, bad := range []string{
+		"remote:spec=remote",
+		"remote:spec=remote;url=http%3A//x",
+		"remote:url=not-a-url",
+		"remote:url=ftp://host",
+		"remote:spec=nosuch",
+	} {
+		if _, err := server.ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+	// The canonical round-trip holds for a valid remote spec.
+	spec, err := server.ParseSpec("remote:url=http://example.com:8080/,spec=search:phases=5;neighbors=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := server.ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", spec, err)
+	}
+	if again.String() != spec.String() {
+		t.Errorf("round-trip %q != %q", again, spec)
+	}
+	if spec.Param("url") != "http://example.com:8080" {
+		t.Errorf("url not canonicalized: %q", spec.Param("url"))
+	}
+	// Missing url is a parse-time pass (catalogs show the bare kind) but a
+	// build-time error.
+	bare, err := server.ParseSpec("remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.NewSolver(bare); err == nil || !strings.Contains(err.Error(), "url parameter is required") {
+		t.Errorf("NewSolver(remote) err = %v, want missing-url error", err)
+	}
+}
+
+// TestRemoteQuotaSingleCharge verifies remote-originated requests skip
+// quota: the outer request was charged when it entered the cluster, so
+// the inner hop must not consume a second token.
+func TestRemoteQuotaSingleCharge(t *testing.T) {
+	c := newTestCluster(t, 2, func(i int, cfg *Config) {
+		cfg.Quota = QuotaConfig{RatePerSec: 0.001, Burst: 1}
+	})
+	in := clusterInstance(t, 5)
+	// Exhaust the target's anonymous bucket: the proxied inner request
+	// carries no API key, so if it were quota-charged it would now 429.
+	resp, _ := postJSON(t, c.urls[1]+"/v1/solve", "{", nil)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		t.Fatal("setup request already throttled")
+	}
+	remoteSpec := "remote:url=" + c.urls[1] + ",spec=adhoc"
+	body := solveReqBody(t, in, remoteSpec, 2, "sync")
+	resp2, b := postJSON(t, c.urls[0]+"/v1/solve", body, map[string]string{"X-API-Key": "alice"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("remote solve = %d (%s) — inner hop charged quota?", resp2.StatusCode, b)
+	}
+}

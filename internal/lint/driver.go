@@ -16,6 +16,7 @@ func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		ChanSelect(),
 		CtxBackground(),
+		ExportedDoc(),
 		GlobalRand(),
 		MapIter(),
 		NakedGo(),

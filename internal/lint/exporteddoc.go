@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ExportedDoc reports exported top-level declarations that carry no doc
+// comment. The rule is scoped (Policy.ScopedTo) to the packages whose
+// exported surface is a public API contract — the serving, cluster and
+// lint layers — rather than module-wide: the deterministic core's surface
+// predates the rule and is documented where it matters, while new API
+// layers must explain every name they export.
+//
+// A declaration counts as documented when a doc comment sits above it —
+// its own, or the enclosing const/var/type group's.
+func ExportedDoc() *Analyzer {
+	return &Analyzer{
+		Name: "exporteddoc",
+		Doc:  "exported declarations in API packages must carry doc comments",
+		Run: func(pkg *Package, file *File, report func(pos token.Pos, format string, args ...any)) {
+			for _, decl := range file.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Name.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+						continue
+					}
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+								report(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if s.Doc != nil || d.Doc != nil {
+								continue
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									report(name.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		},
+	}
+}

@@ -44,6 +44,7 @@ type Diagnostic struct {
 	Msg  string
 }
 
+// String renders the diagnostic in the compiler-style one-line format.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
 }

@@ -205,6 +205,11 @@ func TestPolicyEnabled(t *testing.T) {
 		{"nakedgo", "internal/experiments", false},
 		{"nakedgo", "cmd/wmnplace", false},
 		{"ctxbackground", "internal/server", true},
+		{"exporteddoc", "internal/server", true},
+		{"exporteddoc", "internal/cluster", true},
+		{"exporteddoc", "internal/lint", true},
+		{"exporteddoc", "internal/wmn", false},
+		{"exporteddoc", "cmd/wmnplace", false},
 		{BadWaiverRule, "internal/server", true},
 	}
 	for _, tc := range cases {

@@ -2,10 +2,13 @@ package lint
 
 import "strings"
 
-// Policy decides which rule applies to which package. Two mechanisms:
+// Policy decides which rule applies to which package. Three mechanisms:
 //
 //   - DeterministicOnly rules fire only inside the deterministic core —
 //     the packages whose outputs the byte-identity invariance tests pin.
+//   - ScopedTo rules fire ONLY inside their listed packages — the inverse
+//     of an allowance, for rules that encode a local contract (API-layer
+//     documentation) rather than a module-wide invariant.
 //   - Allowances disable a rule wholesale in packages where the flagged
 //     construct is that package's legitimate business. Every entry
 //     carries a written reason, same as a line waiver.
@@ -18,6 +21,9 @@ type Policy struct {
 	Deterministic []string
 	// DeterministicOnly names the rules restricted to those packages.
 	DeterministicOnly map[string]bool
+	// ScopedTo maps a rule name to the only package paths (and their
+	// subpackages) it runs in; rules absent from the map stay module-wide.
+	ScopedTo map[string][]string
 	// Allowances maps rule name to the packages it is disabled in.
 	Allowances map[string][]Allowance
 }
@@ -48,6 +54,10 @@ func DefaultPolicy() *Policy {
 			// surface itself: Fingerprint pins their outputs across
 			// machines, so they are held to the same bar.
 			"internal/scenarios",
+			// The experiment runner's artifacts are checked in and
+			// drift-gated: a wall-clock byte anywhere would fail every
+			// subsequent `make paper-check`.
+			"internal/report",
 		},
 		DeterministicOnly: map[string]bool{
 			// Map iteration order and multi-ready selects only corrupt
@@ -55,6 +65,12 @@ func DefaultPolicy() *Policy {
 			// layer uses both constructs correctly all the time.
 			"mapiter":    true,
 			"chanselect": true,
+		},
+		ScopedTo: map[string][]string{
+			// The packages whose exported names are API contracts: the
+			// solver-registry plugin surface, the cluster wire surface, and
+			// this linter's own analyzer framework.
+			"exporteddoc": {"internal/server", "internal/cluster", "internal/lint"},
 		},
 		Allowances: map[string][]Allowance{
 			"wallclock": {
@@ -80,6 +96,18 @@ func (p *Policy) Enabled(rule, path string) bool {
 	}
 	if p.DeterministicOnly[rule] && !p.IsDeterministic(path) {
 		return false
+	}
+	if scope, ok := p.ScopedTo[rule]; ok {
+		in := false
+		for _, s := range scope {
+			if pathWithin(path, s) {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return false
+		}
 	}
 	for _, a := range p.Allowances[rule] {
 		if pathWithin(path, a.Path) {

@@ -118,3 +118,9 @@ func severed(ctx context.Context) context.Context {
 func legitimateRoot() context.Context {
 	return context.Background() // no ctx parameter in scope: this is a root
 }
+
+// exporteddoc is scoped to the API packages (server, cluster, lint), so an
+// undocumented export here stays silent. The blank line below keeps this
+// comment from doubling as the function's doc.
+
+func ExportedButOutOfScope() {}

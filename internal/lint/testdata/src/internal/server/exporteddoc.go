@@ -1,0 +1,35 @@
+package server
+
+// Documented is fine: the doc comment covers the type.
+type Documented struct{}
+
+type Undocumented struct{} // want `\[exporteddoc\] exported type Undocumented has no doc comment`
+
+// DocumentedFunc is fine.
+func DocumentedFunc() {}
+
+func UndocumentedFunc() {} // want `\[exporteddoc\] exported function UndocumentedFunc has no doc comment`
+
+func (Documented) UndocumentedMethod() {} // want `\[exporteddoc\] exported method UndocumentedMethod has no doc comment`
+
+// unexported declarations never need docs.
+func helper() {}
+
+type small int
+
+// Grouped consts under one doc comment are all covered.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+const (
+	// LoneA's own doc covers it even though the group has none.
+	LoneA = 1
+	LoneB = 2 // want `\[exporteddoc\] exported const LoneB has no doc comment`
+)
+
+var UndocumentedVar int // want `\[exporteddoc\] exported var UndocumentedVar has no doc comment`
+
+// DocumentedVar is fine.
+var DocumentedVar int

@@ -1,0 +1,140 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meshplace/internal/scenarios"
+	"meshplace/internal/server"
+)
+
+// testConfig is a small but non-trivial grid: two scenarios, two solvers,
+// two repetitions.
+func testConfig(t *testing.T, workers int) Config {
+	t.Helper()
+	var specs []server.Spec
+	for _, s := range []string{"adhoc", "search:phases=10,neighbors=2"} {
+		spec, err := server.ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+	return Config{
+		Seed:      42,
+		Reps:      2,
+		Specs:     specs,
+		Scenarios: scenarios.Corpus(42)[:2],
+		Workers:   workers,
+	}
+}
+
+// TestReportDeterministic pins the package contract: the same config
+// yields byte-identical artifacts run to run and at any worker count, and
+// changing the seed changes the fingerprint.
+func TestReportDeterministic(t *testing.T) {
+	first, err := Execute(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Execute(testConfig(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := first.Files(), second.Files()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("artifact sets have %d and %d files, want 3", len(a), len(b))
+	}
+	for _, name := range fileOrder {
+		if !bytes.Equal(a[name], b[name]) {
+			t.Errorf("%s differs between a 1-worker and a 4-worker run", name)
+		}
+	}
+
+	other := testConfig(t, 1)
+	other.Seed = 43
+	reseeded, err := Execute(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a["results.csv"], reseeded.Files()["results.csv"]) {
+		t.Error("different seeds produced identical CSV bytes")
+	}
+}
+
+// TestReportArtifactShape spot-checks the rendered artifacts: CSV row
+// count, markdown tables, manifest recipe and cross-file fingerprint
+// agreement.
+func TestReportArtifactShape(t *testing.T) {
+	cfg := testConfig(t, 2)
+	rep, err := Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := rep.Files()
+
+	lines := strings.Split(strings.TrimSuffix(string(files["results.csv"]), "\n"), "\n")
+	wantRows := cfg.Reps*len(cfg.Specs)*len(cfg.Scenarios) + 1
+	if len(lines) != wantRows {
+		t.Errorf("CSV has %d lines, want %d", len(lines), wantRows)
+	}
+
+	md := string(files["results.md"])
+	for _, want := range []string{"## Solvers", "## Scenarios", "## Mean fitness", "## Solver summary",
+		"`" + cfg.Specs[0].String() + "`", cfg.Scenarios[0].Name} {
+		if !strings.Contains(md, want) {
+			t.Errorf("results.md lacks %q", want)
+		}
+	}
+
+	fp := fingerprint(files["results.csv"])
+	if !strings.Contains(md, fp) {
+		t.Error("results.md does not embed the CSV fingerprint")
+	}
+	if !strings.Contains(string(files["manifest.json"]), fp) {
+		t.Error("manifest.json does not embed the CSV fingerprint")
+	}
+	if !strings.Contains(string(files["manifest.json"]), `"`+cfg.Specs[1].String()+`"`) {
+		t.Error("manifest.json does not record the canonical solver specs")
+	}
+}
+
+// TestCheckRoundTripAndDrift pins the drift gate: a freshly written run
+// directory passes Check, and any byte flipped in any artifact fails it
+// naming the file.
+func TestCheckRoundTripAndDrift(t *testing.T) {
+	rep, err := Execute(testConfig(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	if err := WriteFiles(dir, rep.Files()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(dir); err != nil {
+		t.Fatalf("fresh run directory fails Check: %v", err)
+	}
+
+	mdPath := filepath.Join(dir, "results.md")
+	orig, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mdPath, append([]byte("tampered\n"), orig...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = Check(dir)
+	if err == nil || !strings.Contains(err.Error(), "results.md") {
+		t.Errorf("Check on a tampered directory = %v, want drift error naming results.md", err)
+	}
+}
+
+// TestExecuteValidation covers the config guards.
+func TestExecuteValidation(t *testing.T) {
+	if _, err := Execute(Config{Seed: 1, Reps: 0}); err == nil {
+		t.Error("Execute accepted zero reps")
+	}
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"meshplace/internal/localsearch"
+	"meshplace/internal/wmn"
+)
+
+// The plugin surface of the solver registry. Every solver kind — the seven
+// built-ins registered by this package and any out-of-tree backend — enters
+// the registry through RegisterBackend, typically from an init function, in
+// the style of d2's layout plugins: the kind's parameter schema rides along
+// with the factory, so GET /v1/solvers, the CLI catalog and ParseSpec all
+// learn about a new backend without the registry changing. The contract a
+// backend must honor is the module's core invariant: identical
+// (instance, spec, seed) triples yield byte-identical results, with every
+// random stream derived from the seed (internal/rng) and ctx deciding only
+// which deterministic phase boundary a truncated run stops at.
+
+// BackendParam declares one parameter of a backend kind: its key, default
+// value (in canonical form), documentation, and an optional checker.
+type BackendParam struct {
+	// Key is the parameter name, matched case-insensitively by ParseSpec;
+	// must be lowercase.
+	Key string
+	// Default is the value an omitted parameter takes; it must pass Check.
+	Default string
+	// Doc is the one-line description surfaced through GET /v1/solvers and
+	// the CLI catalog.
+	Doc string
+	// Check canonicalizes a raw value or rejects it with an error. nil
+	// accepts any value verbatim (the value is its own canonical form).
+	Check func(raw string) (string, error)
+}
+
+// BackendHooks carries the per-solve observation and control hooks into a
+// backend run. Backends wire OnPhase into their engine's progress hook and
+// Stop into its stop condition; either may be nil. Backends without phase
+// boundaries (single-pass constructors, remote proxies) may ignore both.
+type BackendHooks struct {
+	// OnPhase observes the engine's own trace records as the search runs.
+	// It draws from no random stream, so a hooked solve returns results
+	// byte-identical to an unhooked one.
+	OnPhase func(localsearch.PhaseRecord)
+	// Stop is consulted at the engine's phase boundaries with cumulative
+	// evaluations and best-so-far; returning true makes the engine return
+	// its incumbent. The generic solver wrapper owns this hook (anytime
+	// recording + ctx cancellation); the portfolio coordinator substitutes
+	// its own budget gates when driving members.
+	Stop func(evals int, best wmn.Metrics) bool
+}
+
+// BackendResult is what a backend run returns: the raw engine outcome the
+// generic solver wrapper turns into a SolveReport.
+type BackendResult struct {
+	// Solution and Metrics are the best placement found and its evaluation.
+	Solution wmn.Solution
+	Metrics  wmn.Metrics
+	// Evaluations counts fitness evaluations across the run.
+	Evaluations int
+	// Anytime, when non-nil, replaces the wrapper's recorded improvement
+	// curve — for backends (like remote proxies) that obtained the real
+	// curve elsewhere rather than driving Stop at phase boundaries.
+	Anytime []AnytimePoint
+	// Portfolio describes a member race; nil for non-portfolio kinds.
+	Portfolio *PortfolioReport
+	// Truncated reports that the run returned an incumbent cut short by
+	// ctx — set by backends that learn about truncation out of band (the
+	// wrapper already detects truncation it caused itself).
+	Truncated bool
+}
+
+// BackendSolve runs one solve: it places the evaluator's instance deriving
+// every random stream from seed, honoring the hooks, with ctx bounding the
+// run (stop at the next phase boundary, return the incumbent — never an
+// error — when it ends).
+type BackendSolve func(ctx context.Context, eval *wmn.Evaluator, seed uint64, h BackendHooks) (BackendResult, error)
+
+// BackendFactory describes one solver kind to the registry: its
+// documentation, parameter schema, and the builder that turns a parsed
+// spec into a runnable solve.
+type BackendFactory struct {
+	// Doc is the one-line kind description surfaced through GET /v1/solvers
+	// and the CLI catalog.
+	Doc string
+	// Params is the kind's full parameter schema, in the order parameters
+	// render in canonical spec strings.
+	Params []BackendParam
+	// ExcludeFromSuite keeps the kind's default spec out of
+	// DefaultSuiteSpecs — for backends that need external context (the
+	// remote proxy needs a target URL) and therefore have no meaningful
+	// default sweep entry.
+	ExcludeFromSuite bool
+	// New builds the solve function for a spec parsed against Params.
+	// Cross-parameter validation belongs here so malformed specs surface
+	// as build errors (HTTP 400s), not failed solves.
+	New func(spec Spec) (BackendSolve, error)
+}
+
+// backendDef is one registry entry: a registered kind and its factory.
+type backendDef struct {
+	kind string
+	BackendFactory
+}
+
+// registry holds every solver kind; kinds preserves registration order so
+// listings are stable.
+var (
+	registry = map[string]*backendDef{}
+	kinds    []string
+)
+
+// RegisterBackend adds a solver kind to the registry. It is intended to be
+// called from an init function (the built-in kinds register exactly this
+// way) and panics on invalid registrations — a duplicate kind, a malformed
+// kind or parameter name, a default that fails its own checker — because
+// those are programming errors in the registering package, not runtime
+// input. After registration the kind is addressable everywhere specs are:
+// ParseSpec, POST /v1/solve, suite sweeps, portfolio members and the CLI.
+func RegisterBackend(kind string, f BackendFactory) {
+	if !validBackendName(kind) {
+		panic(fmt.Sprintf("server: invalid solver kind %q (want non-empty lowercase letters and digits)", kind))
+	}
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("server: duplicate solver kind %q", kind))
+	}
+	if f.New == nil {
+		panic(fmt.Sprintf("server: solver kind %q registered without a factory", kind))
+	}
+	seen := map[string]bool{}
+	for _, p := range f.Params {
+		if !validBackendName(p.Key) {
+			panic(fmt.Sprintf("server: solver kind %q parameter %q: invalid name", kind, p.Key))
+		}
+		if seen[p.Key] {
+			panic(fmt.Sprintf("server: solver kind %q parameter %q registered twice", kind, p.Key))
+		}
+		seen[p.Key] = true
+		if p.Check != nil {
+			if _, err := p.Check(p.Default); err != nil {
+				panic(fmt.Sprintf("server: solver kind %q parameter %q: default %q fails its checker: %v", kind, p.Key, p.Default, err))
+			}
+		}
+	}
+	registry[kind] = &backendDef{kind: kind, BackendFactory: f}
+	kinds = append(kinds, kind)
+}
+
+// unregisterBackend removes a kind registered by a test, restoring the
+// registry for the assertions that pin its size and order.
+func unregisterBackend(kind string) {
+	if _, ok := registry[kind]; !ok {
+		return
+	}
+	delete(registry, kind)
+	for i, k := range kinds {
+		if k == kind {
+			kinds = append(kinds[:i], kinds[i+1:]...)
+			break
+		}
+	}
+}
+
+// validBackendName accepts non-empty lowercase letter/digit names — the
+// alphabet that survives the spec grammar (":", ",", "=", "|", ";" and
+// whitespace are all structural there).
+func validBackendName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Kinds returns the registered solver kinds in registration order.
+func Kinds() []string {
+	out := make([]string, len(kinds))
+	copy(out, kinds)
+	return out
+}
+
+// NewSolver builds the solver for a spec obtained from ParseSpec.
+func NewSolver(spec Spec) (Solver, error) {
+	def, ok := registry[spec.kind]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown solver %q (want %s)", spec.kind, strings.Join(Kinds(), ", "))
+	}
+	run, err := def.New(spec)
+	if err != nil {
+		return nil, fmt.Errorf("server: build %s: %w", spec, err)
+	}
+	return solver{spec: spec, run: run}, nil
+}
+
+// ParamInfo documents one parameter of a solver kind for /v1/solvers.
+type ParamInfo struct {
+	Key     string `json:"key"`
+	Default string `json:"default"`
+	Doc     string `json:"doc"`
+}
+
+// SolverInfo documents one registered solver kind for /v1/solvers.
+type SolverInfo struct {
+	Kind string `json:"kind"`
+	Doc  string `json:"doc"`
+	// Spec is the canonical default spec — what ParseSpec(Kind) yields.
+	Spec   string      `json:"spec"`
+	Params []ParamInfo `json:"params"`
+}
+
+// Catalog describes every registered solver kind in registration order —
+// the payload of GET /v1/solvers and of `wmnplace solvers`, covering
+// plugins exactly like built-ins.
+func Catalog() []SolverInfo {
+	out := make([]SolverInfo, 0, len(kinds))
+	for _, kind := range kinds {
+		def := registry[kind]
+		info := SolverInfo{Kind: kind, Doc: def.Doc, Params: make([]ParamInfo, 0, len(def.Params))}
+		for _, pd := range def.Params {
+			info.Params = append(info.Params, ParamInfo{Key: pd.Key, Default: pd.Default, Doc: pd.Doc})
+		}
+		spec, err := ParseSpec(kind)
+		if err != nil {
+			panic(fmt.Sprintf("server: default spec of %q does not parse: %v", kind, err))
+		}
+		info.Spec = spec.String()
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"meshplace/internal/wmn"
+)
+
+// mustPanic runs fn and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic, want one mentioning %q", want)
+			return
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Errorf("panic %v, want mention of %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// passthroughFactory is a minimal valid factory for registration tests:
+// it delegates to the adhoc backend so registered test kinds run real
+// solves.
+func passthroughFactory(t *testing.T) BackendFactory {
+	t.Helper()
+	inner, err := ParseSpec("adhoc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := registry["adhoc"].New(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BackendFactory{
+		Doc: "test plugin delegating to the default adhoc method",
+		New: func(Spec) (BackendSolve, error) { return run, nil },
+	}
+}
+
+// TestRegisterBackendRejectsBadRegistrations pins every panic path of
+// RegisterBackend: registering is an init-time act, so malformed
+// registrations are programming errors that must fail loudly.
+func TestRegisterBackendRejectsBadRegistrations(t *testing.T) {
+	ok := passthroughFactory(t)
+
+	mustPanic(t, "duplicate solver kind", func() { RegisterBackend("adhoc", ok) })
+	for _, kind := range []string{"", "Upper", "with-dash", "with space", "semi;colon", "utf8é"} {
+		mustPanic(t, "invalid solver kind", func() { RegisterBackend(kind, ok) })
+	}
+	mustPanic(t, "without a factory", func() {
+		RegisterBackend("nofactory", BackendFactory{Doc: "no New"})
+	})
+
+	bad := ok
+	bad.Params = []BackendParam{{Key: "Bad-Key", Default: "x"}}
+	mustPanic(t, "invalid name", func() { RegisterBackend("badparam", bad) })
+
+	dup := ok
+	dup.Params = []BackendParam{{Key: "k", Default: "1"}, {Key: "k", Default: "2"}}
+	mustPanic(t, "registered twice", func() { RegisterBackend("dupparam", dup) })
+
+	badDefault := ok
+	badDefault.Params = []BackendParam{{Key: "n", Default: "zero", Check: intParam(1)}}
+	mustPanic(t, "fails its checker", func() { RegisterBackend("baddefault", badDefault) })
+
+	// None of the rejected registrations may have leaked into the registry.
+	for _, kind := range []string{"nofactory", "badparam", "dupparam", "baddefault"} {
+		if _, ok := registry[kind]; ok {
+			t.Errorf("rejected kind %q leaked into the registry", kind)
+		}
+		for _, k := range Kinds() {
+			if k == kind {
+				t.Errorf("rejected kind %q leaked into the kind order", kind)
+			}
+		}
+	}
+}
+
+// TestUnknownKindErrorListsKinds pins the discoverability contract: the
+// unknown-solver error enumerates every registered kind, so a typo'd spec
+// names its own fix.
+func TestUnknownKindErrorListsKinds(t *testing.T) {
+	_, err := ParseSpec("nosuch:x=1")
+	if err == nil {
+		t.Fatal("ParseSpec accepted an unknown kind")
+	}
+	for _, kind := range Kinds() {
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("unknown-kind error does not list %q: %v", kind, err)
+		}
+	}
+}
+
+// TestPluginRegistrationRoundTrip registers a kind through the public
+// surface and drives it through the full spec lifecycle: parse with
+// defaults, canonical round-trip, catalog listing, a real solve, and —
+// because the factory delegates to adhoc — byte-equal results with the
+// built-in it wraps.
+func TestPluginRegistrationRoundTrip(t *testing.T) {
+	f := passthroughFactory(t)
+	f.Params = []BackendParam{
+		{Key: "label", Default: "default", Doc: "free-form tag (verbatim)"},
+		{Key: "weight", Default: "1", Doc: "positive float", Check: floatParam},
+	}
+	f.ExcludeFromSuite = true
+	RegisterBackend("plugtest", f)
+	defer unregisterBackend("plugtest")
+
+	// Parse fills omitted parameters with defaults; nil-Check values pass
+	// verbatim; checked values canonicalize.
+	spec, err := ParseSpec("plugtest:weight=2.50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := spec.String(), "plugtest:label=default,weight=2.5"; got != want {
+		t.Fatalf("canonical spec = %q, want %q", got, want)
+	}
+	again, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != spec.String() {
+		t.Errorf("round-trip %q != %q", again, spec)
+	}
+	if _, err := ParseSpec("plugtest:weight=-1"); err == nil {
+		t.Error("checker not applied to plugin parameter")
+	}
+
+	// The catalog lists the plugin exactly like a built-in.
+	var info *SolverInfo
+	cat := Catalog()
+	for i := range cat {
+		if cat[i].Kind == "plugtest" {
+			info = &cat[i]
+		}
+	}
+	if info == nil {
+		t.Fatal("Catalog does not list the registered plugin")
+	}
+	if info.Doc != f.Doc || len(info.Params) != 2 || info.Spec != "plugtest:label=default,weight=1" {
+		t.Errorf("catalog entry = %+v", info)
+	}
+
+	// ExcludeFromSuite keeps the plugin out of the default sweep.
+	for _, s := range DefaultSuiteSpecs() {
+		if s.Kind() == "plugtest" {
+			t.Error("excluded plugin appears in DefaultSuiteSpecs")
+		}
+	}
+
+	// A solve through the plugin returns the delegate's exact results.
+	in := testInstance(t)
+	eval, err := wmn.NewEvaluator(in, wmn.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plug, err := NewSolver(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adhocSpec, err := ParseSpec("adhoc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewSolver(adhocSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSol, gotM, err := plug.Solve(context.Background(), eval, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSol, wantM, err := base.Solve(context.Background(), eval, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotM != wantM || len(gotSol.Positions) != len(wantSol.Positions) {
+		t.Errorf("plugin solve differs from its delegate: %+v vs %+v", gotM, wantM)
+	}
+
+	// After unregistration the kind is unknown again and the registry is
+	// back to its pinned size.
+	unregisterBackend("plugtest")
+	if _, err := ParseSpec("plugtest"); err == nil {
+		t.Error("unregistered kind still parses")
+	}
+	if len(Kinds()) != len(Catalog()) {
+		t.Errorf("kinds/catalog disagree after unregister: %d vs %d", len(Kinds()), len(Catalog()))
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -93,17 +94,19 @@ func portfolioMemberSpecs(s Spec) []Spec {
 	return out
 }
 
-func portfolioDef() *solverDef {
-	return &solverDef{
-		kind: "portfolio",
-		doc:  "anytime meta-solver racing member solvers in deterministic evaluation-budget slices, reallocating toward leaders at each barrier",
-		params: []paramDef{
-			{key: "members", def: defaultPortfolioMembers,
-				doc: `member specs separated by "|", with ";" in place of "," inside a member`, check: membersParam},
-			{key: "budget", def: "20000", doc: "total fitness-evaluation budget shared by the members", check: intParam(1)},
-			{key: "slices", def: "8", doc: "budget slices between reallocation barriers", check: intParam(1)},
+// portfolioFactory is the portfolio kind's registry entry. It lives here
+// (next to the coordinator) and registers from the same init as the other
+// built-ins.
+func portfolioFactory() BackendFactory {
+	return BackendFactory{
+		Doc: "anytime meta-solver racing member solvers in deterministic evaluation-budget slices, reallocating toward leaders at each barrier",
+		Params: []BackendParam{
+			{Key: "members", Default: defaultPortfolioMembers,
+				Doc: `member specs separated by "|", with ";" in place of "," inside a member`, Check: membersParam},
+			{Key: "budget", Default: "20000", Doc: "total fitness-evaluation budget shared by the members", Check: intParam(1)},
+			{Key: "slices", Default: "8", Doc: "budget slices between reallocation barriers", Check: intParam(1)},
 		},
-		build: buildPortfolio,
+		New: buildPortfolio,
 	}
 }
 
@@ -113,11 +116,11 @@ func portfolioDef() *solverDef {
 // worker, and results are byte-identical at any width regardless).
 type portfolioFan func(n int, fn func(i int) error) error
 
-func buildPortfolio(spec Spec) (solveFunc, error) {
+func buildPortfolio(spec Spec) (BackendSolve, error) {
 	specs := portfolioMemberSpecs(spec)
-	runs := make([]solveFunc, len(specs))
+	runs := make([]BackendSolve, len(specs))
 	for i, ms := range specs {
-		run, err := registry[ms.Kind()].build(ms)
+		run, err := registry[ms.Kind()].New(ms)
 		if err != nil {
 			return nil, fmt.Errorf("member %d (%s): %w", i, ms, err)
 		}
@@ -127,8 +130,8 @@ func buildPortfolio(spec Spec) (solveFunc, error) {
 	fan := func(n int, fn func(i int) error) error {
 		return experiments.ForEachIndexed(n, runtime.GOMAXPROCS(0), fn)
 	}
-	return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
-		return runPortfolio(eval, seed, h, specs, runs, budget, slices, fan)
+	return func(ctx context.Context, eval *wmn.Evaluator, seed uint64, h BackendHooks) (BackendResult, error) {
+		return runPortfolio(ctx, eval, seed, h, specs, runs, budget, slices, fan)
 	}, nil
 }
 
@@ -149,7 +152,7 @@ type pfState struct {
 // state receive per drive, so accesses are ordered by the channels).
 type pfMember struct {
 	spec Spec
-	run  solveFunc
+	run  BackendSolve
 	seed uint64
 
 	target int          // cumulative evaluation target; read by gate
@@ -183,23 +186,25 @@ func (m *pfMember) gate(evals int, best wmn.Metrics) bool {
 }
 
 // loop runs the member engine to completion on its own goroutine, parking
-// at slice boundaries via gate, and reports the final outcome.
-func (m *pfMember) loop(eval *wmn.Evaluator) {
-	out, err := m.run(eval, m.seed, solveHooks{stop: m.gate})
+// at slice boundaries via gate, and reports the final outcome. ctx rides
+// through to the member backend (members that call out, like a remote
+// proxy, need it); budget control stays with the gate.
+func (m *pfMember) loop(ctx context.Context, eval *wmn.Evaluator) {
+	out, err := m.run(ctx, eval, m.seed, BackendHooks{Stop: m.gate})
 	if err != nil {
 		m.state <- pfState{finished: true, err: err}
 		return
 	}
-	m.state <- pfState{evals: out.evals, best: out.metrics, sol: out.sol, finished: true}
+	m.state <- pfState{evals: out.Evaluations, best: out.Metrics, sol: out.Solution, finished: true}
 }
 
 // drive advances the member by one slice: start it (first slice) or grant
 // the new cumulative target, then block until it parks or finishes.
-func (m *pfMember) drive(eval *wmn.Evaluator, target int) {
+func (m *pfMember) drive(ctx context.Context, eval *wmn.Evaluator, target int) {
 	if !m.started {
 		m.started = true
 		m.target = target // before the go statement: happens-before the engine
-		go m.loop(eval)
+		go m.loop(ctx, eval)
 	} else {
 		m.grant <- target
 	}
@@ -281,7 +286,7 @@ func pfShares(members []*pfMember, alive []int, give int, firstSlice bool) map[i
 // wrapper) is consulted only at barriers, so truncation lands on slice
 // boundaries. The first slice always runs, guaranteeing an incumbent and a
 // non-empty anytime curve even under an already-expired deadline.
-func runPortfolio(eval *wmn.Evaluator, seed uint64, h solveHooks, specs []Spec, runs []solveFunc, budget, slices int, fan portfolioFan) (solveOut, error) {
+func runPortfolio(ctx context.Context, eval *wmn.Evaluator, seed uint64, h BackendHooks, specs []Spec, runs []BackendSolve, budget, slices int, fan portfolioFan) (BackendResult, error) {
 	members := make([]*pfMember, len(specs))
 	for i := range specs {
 		members[i] = &pfMember{
@@ -324,23 +329,23 @@ func runPortfolio(eval *wmn.Evaluator, seed uint64, h solveHooks, specs []Spec, 
 		slicesRun = s
 		if err := fan(len(alive), func(k int) error {
 			m := members[alive[k]]
-			m.drive(eval, m.evals+shares[alive[k]])
+			m.drive(ctx, eval, m.evals+shares[alive[k]])
 			return nil
 		}); err != nil {
-			return solveOut{}, err
+			return BackendResult{}, err
 		}
 		for _, i := range alive {
 			if members[i].err != nil {
 				drainPortfolio(members)
-				return solveOut{}, fmt.Errorf("portfolio member %d (%s): %w", i, members[i].spec, members[i].err)
+				return BackendResult{}, fmt.Errorf("portfolio member %d (%s): %w", i, members[i].spec, members[i].err)
 			}
 		}
 		if lead := pfLeader(members); lead >= 0 {
 			best := members[lead].best
-			if h.onPhase != nil {
-				h.onPhase(localsearch.PhaseRecord{Phase: s, Metrics: best, Accepted: true, Proposed: true})
+			if h.OnPhase != nil {
+				h.OnPhase(localsearch.PhaseRecord{Phase: s, Metrics: best, Accepted: true, Proposed: true})
 			}
-			if h.stop != nil && h.stop(used(), best) {
+			if h.Stop != nil && h.Stop(used(), best) {
 				break
 			}
 		}
@@ -349,13 +354,13 @@ func runPortfolio(eval *wmn.Evaluator, seed uint64, h solveHooks, specs []Spec, 
 	drainPortfolio(members)
 	for i, m := range members {
 		if m.err != nil {
-			return solveOut{}, fmt.Errorf("portfolio member %d (%s): %w", i, m.spec, m.err)
+			return BackendResult{}, fmt.Errorf("portfolio member %d (%s): %w", i, m.spec, m.err)
 		}
 	}
 
 	winner := pfLeader(members)
 	if winner < 0 {
-		return solveOut{}, fmt.Errorf("portfolio produced no result")
+		return BackendResult{}, fmt.Errorf("portfolio produced no result")
 	}
 	report := &PortfolioReport{
 		Budget:      budget,
@@ -374,7 +379,7 @@ func runPortfolio(eval *wmn.Evaluator, seed uint64, h solveHooks, specs []Spec, 
 		}
 	}
 	w := members[winner]
-	return solveOut{sol: w.sol, metrics: w.best, evals: report.Evaluations, portfolio: report}, nil
+	return BackendResult{Solution: w.sol, Metrics: w.best, Evaluations: report.Evaluations, Portfolio: report}, nil
 }
 
 // drainPortfolio ends the race: closing a parked member's grant channel

@@ -67,16 +67,16 @@ func TestPortfolioSpecRoundTrip(t *testing.T) {
 // portfolioRace runs the portfolio coordinator for a spec with an injected
 // worker count, capturing the anytime curve the generic wrapper would
 // record.
-func portfolioRace(t *testing.T, eval *wmn.Evaluator, text string, seed uint64, workers int) (solveOut, []AnytimePoint) {
+func portfolioRace(t *testing.T, eval *wmn.Evaluator, text string, seed uint64, workers int) (BackendResult, []AnytimePoint) {
 	t.Helper()
 	spec, err := ParseSpec(text)
 	if err != nil {
 		t.Fatal(err)
 	}
 	specs := portfolioMemberSpecs(spec)
-	runs := make([]solveFunc, len(specs))
+	runs := make([]BackendSolve, len(specs))
 	for i, ms := range specs {
-		run, err := registry[ms.Kind()].build(ms)
+		run, err := registry[ms.Kind()].New(ms)
 		if err != nil {
 			t.Fatalf("build member %d: %v", i, err)
 		}
@@ -86,11 +86,11 @@ func portfolioRace(t *testing.T, eval *wmn.Evaluator, text string, seed uint64, 
 		return experiments.ForEachIndexed(n, workers, fn)
 	}
 	rec := anytimeRecorder{}
-	out, err := runPortfolio(eval, seed, solveHooks{stop: rec.hook}, specs, runs, spec.specInt("budget"), spec.specInt("slices"), fan)
+	out, err := runPortfolio(context.Background(), eval, seed, BackendHooks{Stop: rec.hook}, specs, runs, spec.specInt("budget"), spec.specInt("slices"), fan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return out, rec.finish(out.evals, out.metrics)
+	return out, rec.finish(out.Evaluations, out.Metrics)
 }
 
 // TestPortfolioWorkerInvariance pins the determinism contract of the
@@ -109,12 +109,12 @@ func TestPortfolioWorkerInvariance(t *testing.T) {
 	seq, seqCurve := portfolioRace(t, eval, text, 42, 1)
 	par, parCurve := portfolioRace(t, eval, text, 42, 8)
 
-	if !reflect.DeepEqual(seq.sol, par.sol) || seq.metrics != par.metrics || seq.evals != par.evals {
+	if !reflect.DeepEqual(seq.Solution, par.Solution) || seq.Metrics != par.Metrics || seq.Evaluations != par.Evaluations {
 		t.Errorf("8-worker race differs from sequential:\nseq: %v (%d evals)\npar: %v (%d evals)",
-			seq.metrics, seq.evals, par.metrics, par.evals)
+			seq.Metrics, seq.Evaluations, par.Metrics, par.Evaluations)
 	}
-	if !reflect.DeepEqual(seq.portfolio, par.portfolio) {
-		t.Errorf("portfolio reports differ:\nseq: %+v\npar: %+v", seq.portfolio, par.portfolio)
+	if !reflect.DeepEqual(seq.Portfolio, par.Portfolio) {
+		t.Errorf("portfolio reports differ:\nseq: %+v\npar: %+v", seq.Portfolio, par.Portfolio)
 	}
 	if !reflect.DeepEqual(seqCurve, parCurve) {
 		t.Errorf("anytime curves differ:\nseq: %v\npar: %v", seqCurve, parCurve)
@@ -123,21 +123,21 @@ func TestPortfolioWorkerInvariance(t *testing.T) {
 	a, err := json.Marshal(struct {
 		P *PortfolioReport
 		C []AnytimePoint
-	}{seq.portfolio, seqCurve})
+	}{seq.Portfolio, seqCurve})
 	if err != nil {
 		t.Fatal(err)
 	}
 	b, err := json.Marshal(struct {
 		P *PortfolioReport
 		C []AnytimePoint
-	}{par.portfolio, parCurve})
+	}{par.Portfolio, parCurve})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a, b) {
 		t.Error("marshaled race reports are not byte-identical across worker counts")
 	}
-	if err := seq.sol.Validate(in); err != nil {
+	if err := seq.Solution.Validate(in); err != nil {
 		t.Errorf("winner solution invalid: %v", err)
 	}
 }

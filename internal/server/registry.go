@@ -49,6 +49,7 @@ type AnytimePoint struct {
 // every solve yields, plus the anytime curve, the evaluation count, the
 // portfolio race report (portfolio kind only) and the truncation flag.
 type SolveReport struct {
+	// Solution and Metrics are the best placement found and its evaluation.
 	Solution wmn.Solution
 	Metrics  wmn.Metrics
 	// Evaluations counts fitness evaluations across the run.
@@ -78,55 +79,42 @@ type TracedSolver interface {
 	SolveTraced(ctx context.Context, eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (SolveReport, error)
 }
 
-// solveHooks carries the per-solve observation and control hooks into a
-// registry build. Builds wire onPhase into their engine's progress hook
-// and stop into its Stop field; both may be nil.
-type solveHooks struct {
-	onPhase func(localsearch.PhaseRecord)
-	// stop is consulted at the engine's phase boundaries with cumulative
-	// evaluations and best-so-far; returning true makes the engine return
-	// its incumbent. The generic solver wrapper owns this hook (anytime
-	// recording + ctx cancellation); the portfolio coordinator substitutes
-	// its own budget gates when driving members.
-	stop func(evals int, best wmn.Metrics) bool
-}
-
-// solveOut is what a registry build returns: the raw engine outcome. The
-// generic wrapper turns it into a SolveReport.
-type solveOut struct {
-	sol       wmn.Solution
-	metrics   wmn.Metrics
-	evals     int
-	portfolio *PortfolioReport
-}
-
-type solveFunc func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error)
-
+// solver is the generic wrapper every registered backend is served
+// through: it owns the anytime recorder and ctx-driven truncation, so
+// backends only run their engine.
 type solver struct {
 	spec Spec
-	run  solveFunc
+	run  BackendSolve
 }
 
+// Spec returns the canonical spec the solver was built from.
 func (s solver) Spec() Spec { return s.spec }
 
+// Solve runs the backend and returns the best placement found.
 func (s solver) Solve(ctx context.Context, eval *wmn.Evaluator, seed uint64) (wmn.Solution, wmn.Metrics, error) {
 	rep, err := s.SolveTraced(ctx, eval, seed, nil)
 	return rep.Solution, rep.Metrics, err
 }
 
+// SolveTraced runs the backend with the anytime recorder wired into its
+// stop hook and the caller's onPhase observer into its progress hook.
 func (s solver) SolveTraced(ctx context.Context, eval *wmn.Evaluator, seed uint64, onPhase func(localsearch.PhaseRecord)) (SolveReport, error) {
 	rec := anytimeRecorder{ctx: ctx}
-	out, err := s.run(eval, seed, solveHooks{onPhase: onPhase, stop: rec.hook})
+	out, err := s.run(ctx, eval, seed, BackendHooks{OnPhase: onPhase, Stop: rec.hook})
 	if err != nil {
 		return SolveReport{}, err
 	}
+	anytime := out.Anytime
+	if anytime == nil {
+		anytime = rec.finish(out.Evaluations, out.Metrics)
+	}
 	return SolveReport{
-		Solution:    out.sol,
-		Metrics:     out.metrics,
-		Evaluations: out.evals,
-		Anytime:     rec.finish(out.evals, out.metrics),
-		Portfolio:   out.portfolio,
-		Truncated:   rec.truncated,
+		Solution:    out.Solution,
+		Metrics:     out.Metrics,
+		Evaluations: out.Evaluations,
+		Anytime:     anytime,
+		Portfolio:   out.Portfolio,
+		Truncated:   rec.truncated || out.Truncated,
 	}, nil
 }
 
@@ -160,94 +148,6 @@ func (a *anytimeRecorder) finish(evals int, best wmn.Metrics) []AnytimePoint {
 		a.curve = append(a.curve, AnytimePoint{Evals: evals, BestFitness: best.Fitness})
 	}
 	return a.curve
-}
-
-// paramDef declares one parameter of a registered solver kind: its key,
-// default (in canonical form), documentation, and the checker that
-// canonicalizes or rejects raw values.
-type paramDef struct {
-	key   string
-	def   string
-	doc   string
-	check func(raw string) (string, error)
-}
-
-// solverDef is one registry entry.
-type solverDef struct {
-	kind   string
-	doc    string
-	params []paramDef
-	build  func(spec Spec) (solveFunc, error)
-}
-
-// registry holds every solver kind; kinds preserves registration order so
-// listings are stable.
-var (
-	registry = map[string]*solverDef{}
-	kinds    []string
-)
-
-func register(def *solverDef) {
-	if _, dup := registry[def.kind]; dup {
-		panic(fmt.Sprintf("server: duplicate solver kind %q", def.kind))
-	}
-	registry[def.kind] = def
-	kinds = append(kinds, def.kind)
-}
-
-// Kinds returns the registered solver kinds in registration order.
-func Kinds() []string {
-	out := make([]string, len(kinds))
-	copy(out, kinds)
-	return out
-}
-
-// NewSolver builds the solver for a spec obtained from ParseSpec.
-func NewSolver(spec Spec) (Solver, error) {
-	def, ok := registry[spec.kind]
-	if !ok {
-		return nil, fmt.Errorf("server: unknown solver %q", spec.kind)
-	}
-	run, err := def.build(spec)
-	if err != nil {
-		return nil, fmt.Errorf("server: build %s: %w", spec, err)
-	}
-	return solver{spec: spec, run: run}, nil
-}
-
-// ParamInfo documents one parameter of a solver kind for /v1/solvers.
-type ParamInfo struct {
-	Key     string `json:"key"`
-	Default string `json:"default"`
-	Doc     string `json:"doc"`
-}
-
-// SolverInfo documents one registered solver kind for /v1/solvers.
-type SolverInfo struct {
-	Kind string `json:"kind"`
-	Doc  string `json:"doc"`
-	// Spec is the canonical default spec — what ParseSpec(Kind) yields.
-	Spec   string      `json:"spec"`
-	Params []ParamInfo `json:"params"`
-}
-
-// Catalog describes every registered solver kind in registration order.
-func Catalog() []SolverInfo {
-	out := make([]SolverInfo, 0, len(kinds))
-	for _, kind := range kinds {
-		def := registry[kind]
-		info := SolverInfo{Kind: kind, Doc: def.doc, Params: make([]ParamInfo, 0, len(def.params))}
-		for _, pd := range def.params {
-			info.Params = append(info.Params, ParamInfo{Key: pd.key, Default: pd.def, Doc: pd.doc})
-		}
-		spec, err := ParseSpec(kind)
-		if err != nil {
-			panic(fmt.Sprintf("server: default spec of %q does not parse: %v", kind, err))
-		}
-		info.Spec = spec.String()
-		out = append(out, info)
-	}
-	return out
 }
 
 // methodParam accepts an ad hoc placement method name, canonicalized to
@@ -312,16 +212,18 @@ func initialSolution(spec Spec, eval *wmn.Evaluator, seed uint64) (wmn.Solution,
 }
 
 // The param sets shared by the search-style solvers.
-var initParam = paramDef{key: "init", def: "Random", doc: "ad hoc method producing the initial solution", check: methodParam}
+var initParam = BackendParam{Key: "init", Default: "Random", Doc: "ad hoc method producing the initial solution", Check: methodParam}
 
+// The built-in kinds register through the same RegisterBackend seam as
+// out-of-tree plugins; one init keeps the listing order independent of
+// file-name-alphabetical init sequencing.
 func init() {
-	register(&solverDef{
-		kind: "adhoc",
-		doc:  "one of the paper's seven ad hoc placement methods (§3), stand-alone",
-		params: []paramDef{
-			{key: "method", def: "HotSpot", doc: "placement method (Random, ColLeft, Diag, Cross, Near, Corners, HotSpot)", check: methodParam},
+	RegisterBackend("adhoc", BackendFactory{
+		Doc: "one of the paper's seven ad hoc placement methods (§3), stand-alone",
+		Params: []BackendParam{
+			{Key: "method", Default: "HotSpot", Doc: "placement method (Random, ColLeft, Diag, Cross, Near, Corners, HotSpot)", Check: methodParam},
 		},
-		build: func(spec Spec) (solveFunc, error) {
+		New: func(spec Spec) (BackendSolve, error) {
 			m, err := placement.MethodFromName(spec.Param("method"))
 			if err != nil {
 				return nil, err
@@ -332,88 +234,85 @@ func init() {
 			}
 			// Ad hoc placement is a single constructive pass with no phases;
 			// the hooks have nothing to observe or stop and are ignored.
-			return func(eval *wmn.Evaluator, seed uint64, _ solveHooks) (solveOut, error) {
+			return func(_ context.Context, eval *wmn.Evaluator, seed uint64, _ BackendHooks) (BackendResult, error) {
 				sol, err := p.Place(eval.Instance(), rng.DeriveString(seed, "solve/adhoc"))
 				if err != nil {
-					return solveOut{}, err
+					return BackendResult{}, err
 				}
 				metrics, err := eval.Evaluate(sol)
-				return solveOut{sol: sol, metrics: metrics, evals: 1}, err
+				return BackendResult{Solution: sol, Metrics: metrics, Evaluations: 1}, err
 			}, nil
 		},
 	})
 
-	register(&solverDef{
-		kind: "search",
-		doc:  "the neighborhood search of §4 (best neighbor per phase)",
-		params: []paramDef{
-			{key: "movement", def: "swap", doc: "neighborhood movement (swap, random, perturb)", check: movementParam},
+	RegisterBackend("search", BackendFactory{
+		Doc: "the neighborhood search of §4 (best neighbor per phase)",
+		Params: []BackendParam{
+			{Key: "movement", Default: "swap", Doc: "neighborhood movement (swap, random, perturb)", Check: movementParam},
 			initParam,
-			{key: "phases", def: "61", doc: "maximum search phases", check: intParam(1)},
-			{key: "neighbors", def: "16", doc: "neighbors examined per phase", check: intParam(1)},
+			{Key: "phases", Default: "61", Doc: "maximum search phases", Check: intParam(1)},
+			{Key: "neighbors", Default: "16", Doc: "neighbors examined per phase", Check: intParam(1)},
 		},
-		build: func(spec Spec) (solveFunc, error) {
-			return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
+		New: func(spec Spec) (BackendSolve, error) {
+			return func(_ context.Context, eval *wmn.Evaluator, seed uint64, h BackendHooks) (BackendResult, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
-					return solveOut{}, err
+					return BackendResult{}, err
 				}
 				res, err := localsearch.Search(eval, initial, localsearch.Config{
 					Movement:          movementFor(spec.Param("movement")),
 					MaxPhases:         spec.specInt("phases"),
 					NeighborsPerPhase: spec.specInt("neighbors"),
-					OnPhase:           h.onPhase,
-					Stop:              h.stop,
+					OnPhase:           h.OnPhase,
+					Stop:              h.Stop,
 				}, rng.DeriveString(seed, "solve/search"))
 				if err != nil {
-					return solveOut{}, err
+					return BackendResult{}, err
 				}
-				return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
+				return BackendResult{Solution: res.Best, Metrics: res.BestMetrics, Evaluations: res.Evaluations}, nil
 			}, nil
 		},
 	})
 
-	register(&solverDef{
-		kind: "hillclimb",
-		doc:  "first-improvement hill climbing (paper future work)",
-		params: []paramDef{
-			{key: "movement", def: "perturb", doc: "neighborhood movement (swap, random, perturb)", check: movementParam},
+	RegisterBackend("hillclimb", BackendFactory{
+		Doc: "first-improvement hill climbing (paper future work)",
+		Params: []BackendParam{
+			{Key: "movement", Default: "perturb", Doc: "neighborhood movement (swap, random, perturb)", Check: movementParam},
 			initParam,
-			{key: "steps", def: "2048", doc: "maximum proposals", check: intParam(1)},
-			{key: "noimprove", def: "256", doc: "consecutive rejections before stopping", check: intParam(1)},
+			{Key: "steps", Default: "2048", Doc: "maximum proposals", Check: intParam(1)},
+			{Key: "noimprove", Default: "256", Doc: "consecutive rejections before stopping", Check: intParam(1)},
 		},
-		build: func(spec Spec) (solveFunc, error) {
-			return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
+		New: func(spec Spec) (BackendSolve, error) {
+			return func(_ context.Context, eval *wmn.Evaluator, seed uint64, h BackendHooks) (BackendResult, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
-					return solveOut{}, err
+					return BackendResult{}, err
 				}
 				res, err := localsearch.HillClimb(eval, initial, localsearch.HillClimbConfig{
 					Movement:     movementFor(spec.Param("movement")),
 					MaxSteps:     spec.specInt("steps"),
 					MaxNoImprove: spec.specInt("noimprove"),
-					OnPhase:      h.onPhase,
-					Stop:         h.stop,
+					OnPhase:      h.OnPhase,
+					Stop:         h.Stop,
 				}, rng.DeriveString(seed, "solve/hillclimb"))
 				if err != nil {
-					return solveOut{}, err
+					return BackendResult{}, err
 				}
-				return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
+				return BackendResult{Solution: res.Best, Metrics: res.BestMetrics, Evaluations: res.Evaluations}, nil
 			}, nil
 		},
 	})
 
-	register(&solverDef{
-		kind: "anneal",
-		doc:  "simulated annealing under a geometric cooling schedule (paper future work)",
-		params: []paramDef{
-			{key: "movement", def: "perturb", doc: "neighborhood movement (swap, random, perturb)", check: movementParam},
+	RegisterBackend("anneal", BackendFactory{
+		Doc: "simulated annealing under a geometric cooling schedule (paper future work)",
+		Params: []BackendParam{
+			{Key: "movement", Default: "perturb", Doc: "neighborhood movement (swap, random, perturb)", Check: movementParam},
 			initParam,
-			{key: "steps", def: "4096", doc: "total proposals", check: intParam(1)},
-			{key: "starttemp", def: "0.05", doc: "initial temperature (fitness units)", check: floatParam},
-			{key: "endtemp", def: "0.0005", doc: "final temperature (must not exceed starttemp)", check: floatParam},
+			{Key: "steps", Default: "4096", Doc: "total proposals", Check: intParam(1)},
+			{Key: "starttemp", Default: "0.05", Doc: "initial temperature (fitness units)", Check: floatParam},
+			{Key: "endtemp", Default: "0.0005", Doc: "final temperature (must not exceed starttemp)", Check: floatParam},
 		},
-		build: func(spec Spec) (solveFunc, error) {
+		New: func(spec Spec) (BackendSolve, error) {
 			cfg := localsearch.AnnealConfig{
 				Steps:     spec.specInt("steps"),
 				StartTemp: spec.specFloat("starttemp"),
@@ -426,69 +325,67 @@ func init() {
 			if err := probe.Validate(); err != nil {
 				return nil, err
 			}
-			return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
+			return func(_ context.Context, eval *wmn.Evaluator, seed uint64, h BackendHooks) (BackendResult, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
-					return solveOut{}, err
+					return BackendResult{}, err
 				}
 				run := cfg
 				run.Movement = movementFor(spec.Param("movement"))
-				run.OnPhase = h.onPhase
-				run.Stop = h.stop
+				run.OnPhase = h.OnPhase
+				run.Stop = h.Stop
 				res, err := localsearch.Anneal(eval, initial, run, rng.DeriveString(seed, "solve/anneal"))
 				if err != nil {
-					return solveOut{}, err
+					return BackendResult{}, err
 				}
-				return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
+				return BackendResult{Solution: res.Best, Metrics: res.BestMetrics, Evaluations: res.Evaluations}, nil
 			}, nil
 		},
 	})
 
-	register(&solverDef{
-		kind: "tabu",
-		doc:  "tabu search with aspiration (paper future work)",
-		params: []paramDef{
-			{key: "movement", def: "swap", doc: "neighborhood movement (swap, random, perturb)", check: movementParam},
+	RegisterBackend("tabu", BackendFactory{
+		Doc: "tabu search with aspiration (paper future work)",
+		Params: []BackendParam{
+			{Key: "movement", Default: "swap", Doc: "neighborhood movement (swap, random, perturb)", Check: movementParam},
 			initParam,
-			{key: "phases", def: "64", doc: "maximum phases", check: intParam(1)},
-			{key: "neighbors", def: "32", doc: "neighbors examined per phase", check: intParam(1)},
-			{key: "tenure", def: "8", doc: "phases a changed router stays tabu", check: intParam(1)},
+			{Key: "phases", Default: "64", Doc: "maximum phases", Check: intParam(1)},
+			{Key: "neighbors", Default: "32", Doc: "neighbors examined per phase", Check: intParam(1)},
+			{Key: "tenure", Default: "8", Doc: "phases a changed router stays tabu", Check: intParam(1)},
 		},
-		build: func(spec Spec) (solveFunc, error) {
-			return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
+		New: func(spec Spec) (BackendSolve, error) {
+			return func(_ context.Context, eval *wmn.Evaluator, seed uint64, h BackendHooks) (BackendResult, error) {
 				initial, err := initialSolution(spec, eval, seed)
 				if err != nil {
-					return solveOut{}, err
+					return BackendResult{}, err
 				}
 				res, err := localsearch.Tabu(eval, initial, localsearch.TabuConfig{
 					Movement:          movementFor(spec.Param("movement")),
 					MaxPhases:         spec.specInt("phases"),
 					NeighborsPerPhase: spec.specInt("neighbors"),
 					Tenure:            spec.specInt("tenure"),
-					OnPhase:           h.onPhase,
-					Stop:              h.stop,
+					OnPhase:           h.OnPhase,
+					Stop:              h.Stop,
 				}, rng.DeriveString(seed, "solve/tabu"))
 				if err != nil {
-					return solveOut{}, err
+					return BackendResult{}, err
 				}
-				return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
+				return BackendResult{Solution: res.Best, Metrics: res.BestMetrics, Evaluations: res.Evaluations}, nil
 			}, nil
 		},
 	})
 
-	register(&solverDef{
-		kind: "ga",
-		doc:  "the genetic algorithm of §5 initialized from an ad hoc method; islands>1 selects the island model",
-		params: []paramDef{
-			{key: "init", def: "HotSpot", doc: "ad hoc method initializing the population", check: methodParam},
-			{key: "generations", def: "800", doc: "number of generations", check: intParam(1)},
-			{key: "pop", def: "64", doc: "population size (per island when islands>1)", check: intParam(4)},
-			{key: "islands", def: "1", doc: "concurrently evolving populations (1 = classic single population)", check: intParam(1)},
-			{key: "migrateevery", def: "10", doc: "generations between island migration barriers", check: intParam(1)},
-			{key: "migrants", def: "2", doc: "elite emigrants per migration edge", check: intParam(1)},
-			{key: "topology", def: "ring", doc: "island migration topology (ring, complete)", check: topologyParam},
+	RegisterBackend("ga", BackendFactory{
+		Doc: "the genetic algorithm of §5 initialized from an ad hoc method; islands>1 selects the island model",
+		Params: []BackendParam{
+			{Key: "init", Default: "HotSpot", Doc: "ad hoc method initializing the population", Check: methodParam},
+			{Key: "generations", Default: "800", Doc: "number of generations", Check: intParam(1)},
+			{Key: "pop", Default: "64", Doc: "population size (per island when islands>1)", Check: intParam(4)},
+			{Key: "islands", Default: "1", Doc: "concurrently evolving populations (1 = classic single population)", Check: intParam(1)},
+			{Key: "migrateevery", Default: "10", Doc: "generations between island migration barriers", Check: intParam(1)},
+			{Key: "migrants", Default: "2", Doc: "elite emigrants per migration edge", Check: intParam(1)},
+			{Key: "topology", Default: "ring", Doc: "island migration topology (ring, complete)", Check: topologyParam},
 		},
-		build: func(spec Spec) (solveFunc, error) {
+		New: func(spec Spec) (BackendSolve, error) {
 			m, err := placement.MethodFromName(spec.Param("init"))
 			if err != nil {
 				return nil, err
@@ -528,46 +425,45 @@ func init() {
 				if err := icfg.Validate(); err != nil {
 					return nil, err
 				}
-				return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
+				return func(_ context.Context, eval *wmn.Evaluator, seed uint64, h BackendHooks) (BackendResult, error) {
 					run := icfg
 					// RunIslands drives Stop at migration barriers on the
 					// coordinating goroutine with the summed evaluation count,
 					// keeping the anytime curve worker-count-invariant.
-					run.Config.Stop = h.stop
-					if h.onPhase != nil {
+					run.Config.Stop = h.Stop
+					if h.OnPhase != nil {
 						// Progress for the island model is the migration
 						// barrier: it runs on the coordinating goroutine with
 						// monotonic generations, matching the hook contract.
 						run.OnBarrier = func(gen int, best wmn.Metrics) {
-							h.onPhase(localsearch.PhaseRecord{Phase: gen, Metrics: best, Accepted: true, Proposed: true})
+							h.OnPhase(localsearch.PhaseRecord{Phase: gen, Metrics: best, Accepted: true, Proposed: true})
 						}
 					}
 					res, err := ga.RunIslands(eval, init, run, seed)
 					if err != nil {
-						return solveOut{}, err
+						return BackendResult{}, err
 					}
-					return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
+					return BackendResult{Solution: res.Best, Metrics: res.BestMetrics, Evaluations: res.Evaluations}, nil
 				}, nil
 			}
-			return func(eval *wmn.Evaluator, seed uint64, h solveHooks) (solveOut, error) {
+			return func(_ context.Context, eval *wmn.Evaluator, seed uint64, h BackendHooks) (BackendResult, error) {
 				run := cfg
-				run.Stop = h.stop
-				if h.onPhase != nil {
+				run.Stop = h.Stop
+				if h.OnPhase != nil {
 					run.OnGeneration = func(gen int, best wmn.Metrics) {
-						h.onPhase(localsearch.PhaseRecord{Phase: gen, Metrics: best, Accepted: true, Proposed: true})
+						h.OnPhase(localsearch.PhaseRecord{Phase: gen, Metrics: best, Accepted: true, Proposed: true})
 					}
 				}
 				res, err := ga.Run(eval, init, run, rng.DeriveString(seed, "solve/ga"))
 				if err != nil {
-					return solveOut{}, err
+					return BackendResult{}, err
 				}
-				return solveOut{sol: res.Best, metrics: res.BestMetrics, evals: res.Evaluations}, nil
+				return BackendResult{Solution: res.Best, Metrics: res.BestMetrics, Evaluations: res.Evaluations}, nil
 			}, nil
 		},
 	})
 
-	// Registered last so "portfolio" closes the kinds listing; its members
-	// reference the kinds above. (Registration from this init keeps the
-	// order independent of file-name-alphabetical init sequencing.)
-	register(portfolioDef())
+	// Registered last so "portfolio" closes the built-in kinds listing; its
+	// members reference the kinds above.
+	RegisterBackend("portfolio", portfolioFactory())
 }

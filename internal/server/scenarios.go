@@ -35,11 +35,16 @@ const islandSuiteSpec = "ga:generations=200,pop=32,islands=4,migrateevery=25"
 
 // DefaultSuiteSpecs returns one canonical default spec per registered
 // solver kind, plus the island-model GA variant — the suite's "sweep
-// everything" selection.
+// everything" selection. Kinds registered with ExcludeFromSuite (backends
+// that need external context, like the remote proxy's target URL) are
+// skipped: their defaults name no runnable configuration.
 func DefaultSuiteSpecs() []Spec {
 	kinds := Kinds()
 	out := make([]Spec, 0, len(kinds)+1)
 	for _, kind := range kinds {
+		if registry[kind].ExcludeFromSuite {
+			continue
+		}
 		spec, err := ParseSpec(kind)
 		if err != nil {
 			panic("server: default spec of registered kind does not parse: " + err.Error())

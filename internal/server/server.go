@@ -351,6 +351,7 @@ const maxRequestBytes = 64 << 20
 // oversizedError marks instances over the hard size limits (413, not 400).
 type oversizedError struct{ msg string }
 
+// Error returns the size-limit violation message.
 func (e *oversizedError) Error() string { return e.msg }
 
 // ResolveInstance produces the validated instance a request addresses —

@@ -112,18 +112,22 @@ func ParseSpec(text string) (Spec, error) {
 		}
 	}
 
-	spec := Spec{kind: kind, params: make([]specParam, 0, len(def.params))}
-	for _, pd := range def.params {
-		raw, ok := given[pd.key]
+	spec := Spec{kind: kind, params: make([]specParam, 0, len(def.Params))}
+	for _, pd := range def.Params {
+		raw, ok := given[pd.Key]
 		if !ok {
-			raw = pd.def
+			raw = pd.Default
 		}
-		canon, err := pd.check(raw)
-		if err != nil {
-			return Spec{}, fmt.Errorf("server: %s parameter %q: %w", kind, pd.key, err)
+		// A nil checker accepts the raw value as its own canonical form.
+		canon := raw
+		if pd.Check != nil {
+			var err error
+			if canon, err = pd.Check(raw); err != nil {
+				return Spec{}, fmt.Errorf("server: %s parameter %q: %w", kind, pd.Key, err)
+			}
 		}
-		spec.params = append(spec.params, specParam{key: pd.key, value: canon})
-		delete(given, pd.key)
+		spec.params = append(spec.params, specParam{key: pd.Key, value: canon})
+		delete(given, pd.Key)
 	}
 	if len(given) > 0 {
 		extra := make([]string, 0, len(given))

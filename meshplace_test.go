@@ -201,9 +201,18 @@ func TestFacadeWeightsAndModels(t *testing.T) {
 }
 
 func TestFacadeSolverRegistry(t *testing.T) {
+	// Seven built-in kinds plus the remote proxy backend internal/cluster
+	// registers at init (the facade links the cluster subsystem).
 	kinds := meshplace.SolverKinds()
-	if len(kinds) != 7 {
-		t.Fatalf("registry lists %d kinds, want 7: %v", len(kinds), kinds)
+	if len(kinds) != 8 {
+		t.Fatalf("registry lists %d kinds, want 8: %v", len(kinds), kinds)
+	}
+	hasRemote := false
+	for _, k := range kinds {
+		hasRemote = hasRemote || k == "remote"
+	}
+	if !hasRemote {
+		t.Errorf("remote proxy backend not registered through the facade: %v", kinds)
 	}
 	if len(meshplace.SolverCatalog()) != len(kinds) {
 		t.Error("catalog size != kind count")

@@ -59,6 +59,44 @@ type (
 	LoadgenReport = server.LoadgenReport
 )
 
+// Solver-plugin surface. Every solver kind — the built-ins and any
+// out-of-tree backend — enters the registry through RegisterSolverBackend,
+// typically from an init function; after registration the kind is
+// addressable everywhere specs are (ParseSolverSpec, POST /v1/solve, suite
+// sweeps, portfolio members and the CLI), and its parameter schema is
+// served through GET /v1/solvers and `wmnplace solvers`. A backend must
+// honor the module's core invariant: identical (instance, spec, seed)
+// triples yield byte-identical results, with every random stream derived
+// from the seed and ctx deciding only which deterministic phase boundary a
+// truncated run stops at.
+type (
+	// BackendFactory describes one solver kind to the registry:
+	// documentation, parameter schema, and the builder turning a parsed
+	// spec into a runnable solve.
+	BackendFactory = server.BackendFactory
+	// BackendParam declares one parameter of a backend kind: key, default,
+	// doc and an optional checker (nil accepts any value verbatim).
+	BackendParam = server.BackendParam
+	// BackendHooks carries the per-solve observation (OnPhase) and control
+	// (Stop) hooks into a backend run; either may be nil.
+	BackendHooks = server.BackendHooks
+	// BackendResult is what a backend run returns: the raw engine outcome
+	// the generic solver wrapper turns into a SolveReport.
+	BackendResult = server.BackendResult
+	// BackendSolve runs one solve for a built backend.
+	BackendSolve = server.BackendSolve
+	// SolverParamInfo documents one parameter of a solver kind inside
+	// SolverInfo.
+	SolverParamInfo = server.ParamInfo
+)
+
+// RegisterSolverBackend adds a solver kind to the registry. It is intended
+// to be called from an init function and panics on invalid registrations
+// (duplicate kind, malformed kind or parameter name, a default failing its
+// own checker) — those are programming errors in the registering package,
+// not runtime input.
+func RegisterSolverBackend(kind string, f BackendFactory) { server.RegisterBackend(kind, f) }
+
 // ParseSolverSpec parses the solver-spec syntax, e.g. "adhoc:method=Near",
 // "search:movement=swap,phases=61,neighbors=16,init=Random" or
 // "ga:init=HotSpot,generations=800,pop=64". Omitted parameters take the
